@@ -1,0 +1,25 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures end-to-end
+(workload generation, functional operator execution, performance/energy
+modeling) and asserts the paper's qualitative shape on the result.  The
+timed quantity is the full experiment pipeline; `pedantic` keeps rounds
+low because each run is itself seconds of work.
+"""
+
+import pytest
+
+#: Model scale used by the benches: large enough that working sets
+#: exceed all cache levels (as in the paper), small enough to finish
+#: in seconds.
+BENCH_SCALE = 500.0
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Bench: ablations over the Mondrian design choices (DESIGN.md section 5).
+
+Not a paper artifact -- these sweeps probe the design space around the
+paper's chosen points: SIMD width (the paper argues 1024 bits), row
+buffer size (HMC's 256 B is the *conservative* case for permutability),
+and the FR-FCFS window (reordering alone cannot recover shuffle
+locality).
+"""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import ablations
+
+
+def test_ablation_simd_width(benchmark):
+    sweep = run_once(
+        benchmark, ablations.simd_width_sweep, widths=(128, 256, 512, 1024),
+        scale=BENCH_SCALE,
+    )
+    runtimes = [sweep[w] for w in sorted(sweep)]
+    # Wider SIMD never hurts, and 1024b beats 128b outright.
+    assert all(a >= b * 0.999 for a, b in zip(runtimes, runtimes[1:]))
+    assert sweep[1024] < sweep[128]
+
+
+def test_ablation_row_buffer_size(benchmark):
+    sweep = run_once(benchmark, ablations.row_buffer_sweep)
+    savings = {rb: sweep[rb]["saving"] for rb in sweep}
+    # Permutability always saves, and saves more on larger rows.
+    assert all(s > 2 for s in savings.values())
+    assert savings[256] < savings[2048] < savings[4096]
+
+
+def test_ablation_scheduler_window(benchmark):
+    sweep = run_once(benchmark, ablations.scheduler_window_sweep)
+    # Practical windows (<= 64) recover under half the locality that
+    # permutability provides by construction (hit rate ~15/16 = 0.94).
+    assert sweep[16] < 0.5
+    assert sweep[64] < 0.94
+    # Monotone in window size.
+    rates = [sweep[w] for w in sorted(sweep)]
+    assert all(a <= b + 1e-9 for a, b in zip(rates, rates[1:]))

@@ -1,0 +1,34 @@
+"""Bench: Figure 6 -- probe-phase speedup over the CPU per operator.
+
+Asserted shape (paper section 7.1):
+
+- NMP-rand == NMP-seq on Scan (identical code);
+- NMP-rand beats NMP-seq on Join and Group by (scalar hardware does not
+  pay back the sort's extra log n passes);
+- Mondrian's wide SIMD makes the sort-based probe the overall winner;
+- every NMP configuration beats the CPU.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig6_probe
+
+
+def test_fig6_probe_speedups(benchmark):
+    out = run_once(benchmark, fig6_probe.run, scale=BENCH_SCALE)
+    s = out["speedups"]
+
+    assert s["scan"]["nmp-rand"] == pytest.approx(s["scan"]["nmp-seq"])
+
+    for op in ("join", "groupby"):
+        assert s[op]["nmp-rand"] > s[op]["nmp-seq"], op
+
+    for op, series in s.items():
+        assert series["mondrian"] >= 0.95 * max(series.values()), op
+        for system, value in series.items():
+            assert value > 1.0, (op, system)
+
+    # Scan magnitudes near the paper's (2.4x NMP, ~6x Mondrian).
+    assert 1.5 < s["scan"]["nmp-rand"] < 6.0
+    assert 3.0 < s["scan"]["mondrian"] < 15.0

@@ -1,0 +1,23 @@
+"""Bench: Figure 7 -- overall speedup over the CPU baseline.
+
+Paper: Mondrian peaks at 49x over the CPU and 5x over the best NMP
+baseline.  Asserted: the ordering NMP <= NMP-perm < Mondrian per
+operator, and the two headline peaks within the same order of magnitude.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig7_overall
+
+
+def test_fig7_overall_speedups(benchmark):
+    out = run_once(benchmark, fig7_overall.run, scale=BENCH_SCALE)
+    s = out["speedups"]
+
+    for op, series in s.items():
+        assert series["nmp"] <= series["nmp-perm"] * 1.01, op
+        assert series["mondrian"] > series["nmp"], op
+        assert series["nmp"] > 1.0, op
+
+    # Headline factors within the paper's order of magnitude.
+    assert 49 / 10 < out["mondrian_peak"] < 49 * 4
+    assert 5 / 4 < out["mondrian_vs_best_nmp_peak"] < 5 * 4

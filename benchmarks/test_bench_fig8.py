@@ -1,0 +1,32 @@
+"""Bench: Figure 8 -- energy breakdown per system.
+
+Asserted shape (paper section 7.2): CPU dominated by core energy;
+NMP and NMP-perm near-identical profiles; Mondrian's profile shifted
+toward dynamic DRAM (aggressive bandwidth utilization shrinks the
+static-dominated components' share).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig8_energy
+
+
+def test_fig8_energy_breakdown(benchmark):
+    out = run_once(benchmark, fig8_energy.run, scale=BENCH_SCALE)
+    fr = out["fractions"]
+
+    for system, components in fr.items():
+        assert sum(components.values()) == pytest.approx(1.0), system
+
+    assert fr["cpu"]["cores"] == max(fr["cpu"].values())
+
+    for component in fr["nmp-rand"]:
+        assert fr["nmp-rand"][component] == pytest.approx(
+            fr["nmp-perm"][component], abs=0.1
+        ), component
+
+    assert fr["mondrian"]["dram_dyn"] > fr["nmp-rand"]["dram_dyn"]
+
+    totals = out["totals_j"]
+    assert totals["mondrian"] < totals["nmp-rand"] < totals["cpu"]

@@ -1,0 +1,30 @@
+"""Bench: Figure 9 -- performance-per-watt improvement over the CPU.
+
+Paper: efficiency follows the performance trends with smaller gains;
+Mondrian up to 28x over the CPU and ~5x over the best NMP baseline.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import fig7_overall, fig9_efficiency
+
+
+def test_fig9_efficiency_improvements(benchmark):
+    out = run_once(benchmark, fig9_efficiency.run, scale=BENCH_SCALE)
+    imp = out["improvements"]
+
+    for op, series in imp.items():
+        assert series["mondrian"] >= series["nmp-perm"] >= 0.99 * series["nmp"], op
+        for system, value in series.items():
+            assert value > 1.0, (op, system)
+
+    # Paper: up to 28x; accept the same order of magnitude.
+    assert 28 / 4 < out["mondrian_peak"] < 28 * 4
+
+
+def test_fig9_gains_smaller_than_fig7_performance(benchmark):
+    """Paper: "the gains are smaller than the performance improvements,
+    reflecting Mondrian's high utilization of system resources"."""
+    eff = run_once(benchmark, fig9_efficiency.run, scale=BENCH_SCALE)
+    perf = fig7_overall.run(scale=BENCH_SCALE)
+    # Compare the Mondrian peaks: efficiency peak <= ~performance peak x1.5.
+    assert eff["mondrian_peak"] <= perf["mondrian_peak"] * 1.5

@@ -1,0 +1,22 @@
+"""Bench: Section 3.1 -- row-activation energy share vs access size.
+
+Paper: ~14% of access energy when a whole 256 B HMC row is consumed,
+~80% at 8 B granularity; larger-row devices are worse.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import sec31_activation
+
+
+def test_sec31_activation_fractions(benchmark):
+    out = run_once(benchmark, sec31_activation.run)
+    assert out["hmc_full_row"] == pytest.approx(0.14, abs=0.04)
+    assert out["hmc_8b"] == pytest.approx(0.80, abs=0.08)
+    # Larger row buffers waste more (HBM 2 KB, Wide I/O 2 4 KB).
+    assert (
+        out["fractions"]["HMC"][64]
+        < out["fractions"]["HBM"][64]
+        < out["fractions"]["WideIO2"][64]
+    )

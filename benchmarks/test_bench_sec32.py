@@ -1,0 +1,22 @@
+"""Bench: Section 3.2 -- MLP-limited bandwidth under the vault power cap.
+
+Paper: an A57-class OoO core sustains ~20 outstanding accesses for
+~5.3 GB/s of the vault's 8 GB/s, at 1.5 W -- several times the 312 mW
+budget; the Mondrian unit reaches the full 8 GB/s by streaming within
+180 mW.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import sec32_mlp
+
+
+def test_sec32_mlp_bandwidth_power(benchmark):
+    out = run_once(benchmark, sec32_mlp.run)
+    assert out["a57_mlp"] == pytest.approx(21.3, abs=1.5)
+    assert out["a57_bw_gbps"] == pytest.approx(5.3, abs=0.5)
+    d = out["details"]
+    assert not d["cortex-a57 (OoO)"]["fits_vault_budget"]
+    assert d["mondrian A35+SIMD"]["fits_vault_budget"]
+    assert d["mondrian A35+SIMD"]["bw_gbps"] == pytest.approx(8.0)

@@ -1,0 +1,30 @@
+"""Bench: two-round partitioning under skew (section 5.4 future work).
+
+Asserts that the overflow exception fires exactly when naive hashing
+exceeds the destination-buffer capacity, and that the retry brings every
+partition back under budget.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import skew_partitioning
+
+
+def test_skew_two_round_partitioning(benchmark):
+    out = run_once(benchmark, skew_partitioning.run)
+    points = out["points"]
+    cap = out["capacity_factor"]
+
+    # Uniform data: no retry, already balanced.
+    assert not points[0.0]["retried"]
+    assert points[0.0]["final_imbalance"] < cap + 0.1
+
+    # Heavy skew: naive hashing far exceeds capacity, the retry fires
+    # and restores balance to within the buffer budget.
+    heavy = points[max(points)]
+    assert heavy["naive_imbalance"] > cap
+    assert heavy["retried"]
+    assert heavy["final_imbalance"] <= cap + 0.1
+
+    # Imbalance after the retry never exceeds capacity at any skew.
+    for alpha, p in points.items():
+        assert p["final_imbalance"] <= cap + 0.1, alpha

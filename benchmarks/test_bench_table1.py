@@ -1,0 +1,16 @@
+"""Bench: Table 1 -- Spark-operator characterization.
+
+Regenerates the basic-operator taxonomy and verifies every basic
+operator against its oracle.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table1_operators
+
+
+def test_table1_operator_characterization(benchmark):
+    out = run_once(benchmark, table1_operators.run)
+    assert all(out["verified"].values())
+    # The four basic operators cover all listed Spark transformations.
+    spark_ops = [op for ops in out["map"].values() for op in ops]
+    assert len(spark_ops) == 14

@@ -1,0 +1,20 @@
+"""Bench: Table 2 -- operator phase decomposition.
+
+Asserts the measured phase structure matches the paper's table: Scan has
+no partitioning; Join/Group by/Sort run histogram + distribution; hash
+variants add a probe-side hash step.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import table2_phases
+
+
+def test_table2_phase_decomposition(benchmark):
+    out = run_once(benchmark, table2_phases.run)
+    s = out["structure"]
+    assert s["scan"]["histogram"] == [] and s["scan"]["distribute"] == []
+    for op in ("join", "groupby", "sort"):
+        assert s[op]["histogram"] and s[op]["distribute"]
+    assert "hash-build" in s["join"]["probe"]       # second hash step
+    assert "hash-aggregate" in s["groupby"]["probe"]
+    assert s["sort"]["probe"] == ["mergesort"]       # local sort only

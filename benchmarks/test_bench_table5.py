@@ -1,0 +1,26 @@
+"""Bench: Table 5 -- partitioning-phase speedup over the CPU baseline.
+
+Paper: NMP 58x, NMP-perm 98x, Mondrian-noperm 142x, Mondrian 273x.
+Asserted shape: the strict ordering, the ~1.7x permutability step on the
+NMP baseline, the ~1.9x permutability step on Mondrian, and every
+speedup within an order of magnitude of the paper's value.
+"""
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.experiments import table5_partition
+
+
+def test_table5_partition_speedups(benchmark):
+    out = run_once(benchmark, table5_partition.run, scale=BENCH_SCALE)
+    s = out["speedups"]
+
+    # Strict ordering of the four rows.
+    assert 1 < s["nmp-rand"] < s["nmp-perm"] < s["mondrian-noperm"] < s["mondrian"]
+
+    # Step ratios (paper: 98/58 = 1.7, 273/142 = 1.9).
+    assert 1.2 < s["nmp-perm"] / s["nmp-rand"] < 2.5
+    assert 1.3 < s["mondrian"] / s["mondrian-noperm"] < 3.0
+
+    # Same order of magnitude as the paper.
+    for name, paper in out["paper"].items():
+        assert paper / 10 < s[name] < paper * 10, (name, s[name], paper)

@@ -1,0 +1,70 @@
+"""repro: a reproduction of *The Mondrian Data Engine* (ISCA 2017).
+
+The package implements, from scratch, every subsystem the paper's
+evaluation depends on:
+
+- an HMC-style stacked-DRAM model with per-bank row-buffer state and the
+  Table 3 timing parameters (:mod:`repro.dram`);
+- vault memory controllers with FR-FCFS scheduling, permutable-write
+  support, object buffers and stream buffers (:mod:`repro.memctrl`);
+- on-chip mesh and inter-device SerDes interconnects
+  (:mod:`repro.interconnect`);
+- cache hierarchies for the CPU baseline (:mod:`repro.cache`);
+- analytic core models for out-of-order and in-order-SIMD compute units
+  (:mod:`repro.cores`);
+- the four basic data operators -- Scan, Sort, Group by, Join -- in both
+  the CPU-preferred hash-based form and the NMP-preferred sort-based form
+  (:mod:`repro.operators`);
+- the partitioning-phase data shuffle with network message interleaving
+  (:mod:`repro.shuffle`);
+- the Table 4 energy model (:mod:`repro.energy`) and the paper's
+  IPC-times-instructions performance model (:mod:`repro.perf`);
+- the six evaluated system configurations (:mod:`repro.systems`); and
+- one experiment driver per table/figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import systems, analytics
+    workload = analytics.make_join_workload(n_r=10_000, n_s=40_000, seed=1)
+    machine = systems.build_system("mondrian")
+    result = machine.run_operator("join", workload)
+    print(result.runtime_s, result.energy.total_j)
+"""
+
+import importlib
+
+from repro.version import __version__
+
+_SUBMODULES = (
+    "analytics",
+    "cache",
+    "config",
+    "cores",
+    "dram",
+    "energy",
+    "engine",
+    "experiments",
+    "interconnect",
+    "mem",
+    "memctrl",
+    "operators",
+    "perf",
+    "shuffle",
+    "systems",
+)
+
+__all__ = list(_SUBMODULES) + ["__version__"]
+
+
+def __getattr__(name):
+    """Lazily import subpackages on first attribute access (PEP 562)."""
+    if name in _SUBMODULES:
+        module = importlib.import_module(f"repro.{name}")
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,72 @@
+"""Histogram build and prefix sums -- the first step of partitioning.
+
+Every operator with a partitioning phase starts by counting, per source
+partition, how many tuples hash to each destination (Table 2's
+"Histogram build"), then prefix-sums those counts into exact destination
+offsets for the data-distribution step.  The same machinery computes the
+per-destination totals that ``shuffle_begin`` announces.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def build_histogram(buckets: np.ndarray, num_buckets: int) -> np.ndarray:
+    """Tuple count per destination bucket."""
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    buckets = np.asarray(buckets)
+    if len(buckets) and (buckets.min() < 0 or buckets.max() >= num_buckets):
+        raise ValueError("bucket ids out of range")
+    return np.bincount(buckets, minlength=num_buckets).astype(np.int64)
+
+
+def prefix_sum(histogram: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum: the first write offset of each bucket."""
+    histogram = np.asarray(histogram, dtype=np.int64)
+    offsets = np.zeros_like(histogram)
+    np.cumsum(histogram[:-1], out=offsets[1:])
+    return offsets
+
+
+def combine_histograms(per_source: List[np.ndarray]) -> np.ndarray:
+    """Total inbound tuples per destination across all sources.
+
+    This is the sum every NMP unit computes during shuffle_begin to learn
+    the size of its inbound data (paper section 5.4).
+    """
+    if not per_source:
+        raise ValueError("need at least one source histogram")
+    totals = np.zeros_like(np.asarray(per_source[0], dtype=np.int64))
+    for hist in per_source:
+        hist = np.asarray(hist, dtype=np.int64)
+        if hist.shape != totals.shape:
+            raise ValueError("histograms must have equal bucket counts")
+        totals += hist
+    return totals
+
+
+def source_write_offsets(per_source: List[np.ndarray]) -> List[np.ndarray]:
+    """Exact write offset of each (source, destination) pair.
+
+    Source ``s`` writes its tuples for destination ``d`` at
+    ``sum over earlier sources of their d-counts`` plus the destination's
+    base -- the addressed (non-permutable) partitioning needs these exact
+    addresses, which is precisely the dependency-heavy bookkeeping the
+    permutable path eliminates.
+    """
+    if not per_source:
+        raise ValueError("need at least one source histogram")
+    num_buckets = len(per_source[0])
+    running = np.zeros(num_buckets, dtype=np.int64)
+    offsets = []
+    for hist in per_source:
+        hist = np.asarray(hist, dtype=np.int64)
+        if len(hist) != num_buckets:
+            raise ValueError("histograms must have equal bucket counts")
+        offsets.append(running.copy())
+        running += hist
+    return offsets

@@ -1,0 +1,116 @@
+"""Relations as numpy structured arrays of 16-byte key/payload tuples."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+KEY_B = 8
+PAYLOAD_B = 8
+TUPLE_B = KEY_B + PAYLOAD_B
+
+#: dtype of one tuple: 8-byte unsigned key, 8-byte unsigned payload.
+TUPLE_DTYPE = np.dtype([("key", np.uint64), ("payload", np.uint64)])
+
+
+class Relation:
+    """A columnar relation of (key, payload) tuples.
+
+    Thin, explicit wrapper over a structured array; all operators consume
+    and produce Relations so data provenance stays obvious.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "relation") -> None:
+        if data.dtype != TUPLE_DTYPE:
+            raise TypeError(f"relation data must have dtype {TUPLE_DTYPE}, got {data.dtype}")
+        if data.ndim != 1:
+            raise ValueError("relation data must be one-dimensional")
+        self._data = data
+        self.name = name
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls, keys: np.ndarray, payloads: np.ndarray, name: str = "relation"
+    ) -> "Relation":
+        keys = np.asarray(keys, dtype=np.uint64)
+        payloads = np.asarray(payloads, dtype=np.uint64)
+        if keys.shape != payloads.shape:
+            raise ValueError("keys and payloads must have equal length")
+        data = np.empty(keys.shape[0], dtype=TUPLE_DTYPE)
+        data["key"] = keys
+        data["payload"] = payloads
+        return cls(data, name)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]], name: str = "relation") -> "Relation":
+        pairs = list(pairs)
+        keys = np.array([k for k, _ in pairs], dtype=np.uint64)
+        payloads = np.array([p for _, p in pairs], dtype=np.uint64)
+        return cls.from_arrays(keys, payloads, name)
+
+    @classmethod
+    def empty(cls, name: str = "relation") -> "Relation":
+        return cls(np.empty(0, dtype=TUPLE_DTYPE), name)
+
+    # -- views ------------------------------------------------------------
+
+    @property
+    def keys(self) -> np.ndarray:
+        return self._data["key"]
+
+    @property
+    def payloads(self) -> np.ndarray:
+        return self._data["payload"]
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @property
+    def size_b(self) -> int:
+        return len(self._data) * TUPLE_B
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return np.array_equal(self._data, other._data)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, n={len(self)})"
+
+    # -- transformations --------------------------------------------------
+
+    def take(self, indices: np.ndarray, name: Optional[str] = None) -> "Relation":
+        return Relation(self._data[indices], name or self.name)
+
+    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Relation":
+        return Relation(self._data[start:stop], name or self.name)
+
+    def concat(self, other: "Relation", name: Optional[str] = None) -> "Relation":
+        return Relation(
+            np.concatenate([self._data, other._data]), name or self.name
+        )
+
+    def sorted_by_key(self, name: Optional[str] = None) -> "Relation":
+        order = np.argsort(self.keys, kind="stable")
+        return self.take(order, name or self.name)
+
+    def is_sorted(self) -> bool:
+        keys = self.keys
+        return bool(np.all(keys[:-1] <= keys[1:])) if len(keys) > 1 else True
+
+    def multiset_equal(self, other: "Relation") -> bool:
+        """Order-insensitive equality -- the permutability correctness
+        criterion (same tuples, any arrangement)."""
+        if len(self) != len(other):
+            return False
+        return np.array_equal(
+            np.sort(self._data, order=("key", "payload")),
+            np.sort(other._data, order=("key", "payload")),
+        )

@@ -1,0 +1,23 @@
+"""Cache hierarchy substrate for the CPU-centric baseline.
+
+The CPU baseline (Table 3) has per-core 32 KB L1d caches with 32 MSHRs
+and a shared 4 MB non-inclusive NUCA LLC; both baselines (CPU and NMP)
+add a next-line prefetcher of depth 3.  The functional models here serve
+two purposes: they provide miss-rate measurements for the performance
+model on scaled-down traces, and they count LLC accesses for the Table 4
+energy accounting.
+"""
+
+from repro.cache.cache import Cache, CacheStats
+from repro.cache.hierarchy import AccessResult, CacheHierarchy
+from repro.cache.mshr import MshrFile
+from repro.cache.prefetch import NextLinePrefetcher
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheHierarchy",
+    "CacheStats",
+    "MshrFile",
+    "NextLinePrefetcher",
+]

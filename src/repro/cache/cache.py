@@ -1,0 +1,107 @@
+"""Set-associative cache with true-LRU replacement.
+
+A plain, dependable model: no timing, just hit/miss classification and
+dirty-line writeback tracking, driven by block-aligned addresses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        return self.hits / self.accesses if self.accesses else None
+
+    @property
+    def miss_rate(self) -> Optional[float]:
+        return self.misses / self.accesses if self.accesses else None
+
+
+class Cache:
+    """One cache level.  ``access`` returns True on hit."""
+
+    def __init__(self, size_b: int, assoc: int, block_b: int = 64, name: str = "cache") -> None:
+        if size_b <= 0 or assoc <= 0 or block_b <= 0:
+            raise ValueError("cache geometry must be positive")
+        if size_b % (assoc * block_b):
+            raise ValueError("size must be a whole number of sets")
+        self.name = name
+        self._block_b = block_b
+        self._assoc = assoc
+        self._num_sets = size_b // (assoc * block_b)
+        # set index -> OrderedDict[tag] = (dirty, was_prefetch); LRU at front.
+        self._sets: Dict[int, OrderedDict] = {}
+        self.stats = CacheStats()
+
+    @property
+    def block_b(self) -> int:
+        return self._block_b
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    @property
+    def assoc(self) -> int:
+        return self._assoc
+
+    def _index_tag(self, addr: int) -> tuple:
+        block = addr // self._block_b
+        return block % self._num_sets, block // self._num_sets
+
+    def probe(self, addr: int) -> bool:
+        """Non-destructive lookup (no LRU update, no stats)."""
+        index, tag = self._index_tag(addr)
+        return tag in self._sets.get(index, ())
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Demand access; fills on miss.  Returns True on hit."""
+        index, tag = self._index_tag(addr)
+        cache_set = self._sets.setdefault(index, OrderedDict())
+        if tag in cache_set:
+            dirty, was_prefetch = cache_set.pop(tag)
+            if was_prefetch:
+                self.stats.prefetch_hits += 1
+            cache_set[tag] = (dirty or is_write, False)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._fill(cache_set, tag, dirty=is_write, was_prefetch=False)
+        return False
+
+    def fill_prefetch(self, addr: int) -> bool:
+        """Install a prefetched block; returns False if already present."""
+        index, tag = self._index_tag(addr)
+        cache_set = self._sets.setdefault(index, OrderedDict())
+        if tag in cache_set:
+            return False
+        self._fill(cache_set, tag, dirty=False, was_prefetch=True)
+        self.stats.prefetch_fills += 1
+        return True
+
+    def _fill(self, cache_set: OrderedDict, tag: int, dirty: bool, was_prefetch: bool) -> None:
+        if len(cache_set) >= self._assoc:
+            _, (victim_dirty, _) = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+        cache_set[tag] = (dirty, was_prefetch)
+
+    def invalidate_all(self) -> None:
+        self._sets.clear()

@@ -1,0 +1,84 @@
+"""Two-level cache hierarchy (L1 + shared LLC) with next-line prefetch.
+
+Drives demand accesses through L1 then LLC, steering prefetches into L1,
+and classifies each access by where it was satisfied.  The LLC access
+count feeds the Table 4 LLC energy term; the memory-level miss count is
+what reaches DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.cache.cache import Cache
+from repro.cache.prefetch import NextLinePrefetcher
+
+
+class AccessResult(Enum):
+    """Where a demand access was satisfied."""
+
+    L1 = "l1"
+    LLC = "llc"
+    MEMORY = "memory"
+
+
+@dataclass
+class HierarchyStats:
+    l1_hits: int = 0
+    llc_hits: int = 0
+    memory_accesses: int = 0
+    llc_accesses: int = 0  # for energy accounting (demand + fills)
+
+    @property
+    def total(self) -> int:
+        return self.l1_hits + self.llc_hits + self.memory_accesses
+
+
+class CacheHierarchy:
+    """One core's L1 backed by a (share of the) LLC."""
+
+    def __init__(
+        self,
+        l1_size_b: int = 32 * 1024,
+        l1_assoc: int = 2,
+        llc_size_b: int = 4 * 1024 * 1024,
+        llc_assoc: int = 16,
+        block_b: int = 64,
+        prefetch_depth: int = 3,
+        address_limit: Optional[int] = None,
+    ) -> None:
+        self.l1 = Cache(l1_size_b, l1_assoc, block_b, name="l1d")
+        self.llc = Cache(llc_size_b, llc_assoc, block_b, name="llc") if llc_size_b else None
+        self.prefetcher = NextLinePrefetcher(prefetch_depth, block_b) if prefetch_depth else None
+        self._block_b = block_b
+        self._address_limit = address_limit
+        self.stats = HierarchyStats()
+
+    def access(self, addr: int, is_write: bool = False) -> AccessResult:
+        """One demand access through the hierarchy."""
+        result = self._demand(addr, is_write)
+        if self.prefetcher is not None:
+            for pf_addr in self.prefetcher.prefetch_addrs(addr, self._address_limit):
+                if not self.l1.probe(pf_addr):
+                    self.l1.fill_prefetch(pf_addr)
+                    if self.llc is not None:
+                        self.stats.llc_accesses += 1  # prefetch fill reads LLC/memory
+        return result
+
+    def _demand(self, addr: int, is_write: bool) -> AccessResult:
+        if self.l1.access(addr, is_write):
+            self.stats.l1_hits += 1
+            return AccessResult.L1
+        if self.llc is not None:
+            self.stats.llc_accesses += 1
+            if self.llc.access(addr, is_write):
+                self.stats.llc_hits += 1
+                return AccessResult.LLC
+        self.stats.memory_accesses += 1
+        return AccessResult.MEMORY
+
+    def miss_rate_to_memory(self) -> Optional[float]:
+        total = self.stats.total
+        return self.stats.memory_accesses / total if total else None

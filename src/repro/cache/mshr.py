@@ -1,0 +1,66 @@
+"""Miss-status holding registers.
+
+MSHRs bound the number of distinct outstanding cache-block misses a core
+can sustain -- the hardware half of the memory-level-parallelism limit
+the paper's section 3.2 analysis turns on.  Same-block secondary misses
+merge into the existing entry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class MshrFile:
+    """Tracks outstanding misses at block granularity."""
+
+    def __init__(self, num_entries: int, block_b: int = 64) -> None:
+        if num_entries <= 0 or block_b <= 0:
+            raise ValueError("MSHR geometry must be positive")
+        self._entries: Dict[int, int] = {}  # block -> merged request count
+        self._capacity = num_entries
+        self._block_b = block_b
+        self.allocations = 0
+        self.merges = 0
+        self.stalls = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self._capacity
+
+    def _block(self, addr: int) -> int:
+        return addr // self._block_b
+
+    def allocate(self, addr: int) -> bool:
+        """Register a miss.  Returns False (and counts a stall) when no
+        entry is free and the block is not already tracked."""
+        block = self._block(addr)
+        if block in self._entries:
+            self._entries[block] += 1
+            self.merges += 1
+            return True
+        if self.full:
+            self.stalls += 1
+            return False
+        self._entries[block] = 1
+        self.allocations += 1
+        return True
+
+    def complete(self, addr: int) -> int:
+        """Retire the miss for a block; returns merged request count."""
+        block = self._block(addr)
+        try:
+            return self._entries.pop(block)
+        except KeyError:
+            raise KeyError(f"no outstanding miss for block {block:#x}") from None
+
+    def outstanding_blocks(self) -> Set[int]:
+        return set(self._entries)

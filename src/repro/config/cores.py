@@ -1,0 +1,140 @@
+"""Compute-unit configurations for the three machine classes (Table 3).
+
+- CPU baseline: 16x ARM Cortex-A57 -- 64-bit, 2 GHz, out-of-order,
+  3-wide dispatch/retire, 128-entry ROB, 32 KB L1d with 32 MSHRs.
+- NMP baseline: 64x Qualcomm Krait400-like -- 1 GHz, out-of-order,
+  3-wide, 48-entry ROB (the best OoO core fitting the per-vault power cap).
+- Mondrian: 64x ARM Cortex-A35 -- 1 GHz, in-order, dual-issue, with a
+  1024-bit fixed-point SIMD unit and stream buffers.
+
+Power figures come from Table 4 (peak core power; energy accounting
+scales by utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Parameters of one compute unit used by the analytic core models.
+
+    ``simd_width_bits == 0`` means the core has no SIMD unit usable by the
+    operators (scalar execution).  ``mem_inst_window`` is the number of
+    in-flight memory accesses the core can sustain: for OoO cores this is
+    derived from the ROB and MSHRs (see paper section 3.2's Cortex-A57
+    estimate of ~20); for the Mondrian core it reflects the eight stream
+    buffers.
+    """
+
+    name: str
+    frequency_hz: float
+    issue_width: int
+    out_of_order: bool
+    rob_entries: int
+    mshrs: int
+    simd_width_bits: int
+    peak_power_w: float
+    has_stream_buffers: bool = False
+    num_stream_buffers: int = 0
+    stream_buffer_b: int = 0
+    l1d_b: int = 32 * 1024
+    cache_block_b: int = 64
+    next_line_prefetch_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.issue_width < 1:
+            raise ValueError("issue width must be >= 1")
+        if self.out_of_order and self.rob_entries < 1:
+            raise ValueError("OoO core needs ROB entries")
+        if self.peak_power_w <= 0:
+            raise ValueError("peak power must be positive")
+
+    @property
+    def cycle_time_ns(self) -> float:
+        return 1e9 / self.frequency_hz
+
+    @property
+    def simd_lanes_64b(self) -> int:
+        """Number of 64-bit lanes the SIMD unit processes per instruction."""
+        return max(1, self.simd_width_bits // 64)
+
+    def max_outstanding_mem(self, instructions_per_mem: float = 6.0) -> float:
+        """Upper bound on memory-level parallelism (paper section 3.2).
+
+        For an OoO core the instruction window limits how many memory
+        instructions can be simultaneously in flight: with one memory
+        access every ``instructions_per_mem`` instructions, a ROB of R
+        entries holds about ``R / instructions_per_mem`` memory
+        instructions, further capped by the MSHR count.  In-order cores
+        without stream buffers sustain only their prefetch depth plus one.
+        """
+        if self.out_of_order:
+            window = self.rob_entries / instructions_per_mem
+            return float(min(window, self.mshrs))
+        if self.has_stream_buffers:
+            return float(self.num_stream_buffers)
+        return float(1 + self.next_line_prefetch_depth)
+
+
+def cortex_a57_cpu() -> CoreConfig:
+    """CPU-baseline core (Table 3 / Table 4): 2 GHz OoO A57, 2.1 W."""
+    return CoreConfig(
+        name="cortex-a57",
+        frequency_hz=2.0e9,
+        issue_width=3,
+        out_of_order=True,
+        rob_entries=128,
+        mshrs=32,
+        simd_width_bits=128,
+        peak_power_w=2.1,
+        l1d_b=32 * 1024,
+        cache_block_b=64,
+        next_line_prefetch_depth=3,
+    )
+
+
+def krait400_nmp() -> CoreConfig:
+    """NMP-baseline core: 1 GHz OoO Krait400-like, 48-entry ROB, 312 mW."""
+    return CoreConfig(
+        name="krait400",
+        frequency_hz=1.0e9,
+        issue_width=3,
+        out_of_order=True,
+        rob_entries=48,
+        mshrs=32,
+        simd_width_bits=128,
+        peak_power_w=0.312,
+        l1d_b=32 * 1024,
+        cache_block_b=64,
+        next_line_prefetch_depth=3,
+    )
+
+
+def cortex_a35_mondrian(simd_width_bits: int = 1024) -> CoreConfig:
+    """Mondrian compute unit: 1 GHz in-order dual-issue A35 variant.
+
+    The paper extends the A35's 128-bit NEON to a 1024-bit fixed-point
+    SIMD unit at ~2x the SIMD power, for an estimated 180 mW total, and
+    pairs it with eight 384 B stream buffers (1.5x the row-buffer size).
+    ``simd_width_bits`` is exposed for the SIMD-width ablation.
+    """
+    return CoreConfig(
+        name=f"cortex-a35-simd{simd_width_bits}",
+        frequency_hz=1.0e9,
+        issue_width=2,
+        out_of_order=False,
+        rob_entries=0,
+        mshrs=8,
+        simd_width_bits=simd_width_bits,
+        peak_power_w=0.180,
+        has_stream_buffers=True,
+        num_stream_buffers=8,
+        stream_buffer_b=384,
+        l1d_b=8 * 1024,
+        cache_block_b=64,
+        next_line_prefetch_depth=0,
+    )

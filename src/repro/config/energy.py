@@ -1,0 +1,92 @@
+"""Power and energy constants of system components (paper Table 4).
+
+Every figure is taken verbatim from Table 4:
+
+=====================  =======================================
+Component              Power / energy
+=====================  =======================================
+CPU core               2.1 W peak
+NMP baseline core      312 mW peak
+Mondrian core          180 mW peak
+LLC                    0.09 nJ/access, 110 mW leakage
+NOC                    0.04 pJ/bit/mm, 30 mW leakage
+HMC (per 8 GB cube)    980 mW background, 0.65 nJ/activation,
+                       2 pJ/bit access
+SerDes                 1 pJ/bit idle, 3 pJ/bit busy
+=====================  =======================================
+
+Core peak powers live in :mod:`repro.config.cores`; this module holds the
+shared memory-system and interconnect constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Energy/power constants consumed by :mod:`repro.energy`."""
+
+    llc_access_j: float = 0.09e-9
+    llc_leakage_w: float = 0.110
+    noc_j_per_bit_mm: float = 0.04e-12
+    noc_leakage_w: float = 0.030
+    hmc_background_w_per_cube: float = 0.980
+    dram_activation_j: float = 0.65e-9
+    dram_access_j_per_bit: float = 2e-12
+    serdes_idle_j_per_bit: float = 1e-12
+    serdes_busy_j_per_bit: float = 3e-12
+
+    def __post_init__(self) -> None:
+        for name in (
+            "llc_access_j",
+            "llc_leakage_w",
+            "noc_j_per_bit_mm",
+            "noc_leakage_w",
+            "hmc_background_w_per_cube",
+            "dram_activation_j",
+            "dram_access_j_per_bit",
+            "serdes_idle_j_per_bit",
+            "serdes_busy_j_per_bit",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def dram_access_j(self, size_b: int) -> float:
+        """Row-buffer transfer energy for ``size_b`` bytes (no activation)."""
+        if size_b < 0:
+            raise ValueError("size_b must be non-negative")
+        return self.dram_access_j_per_bit * size_b * 8
+
+    def activation_j_for_row(self, row_size_b: int) -> float:
+        """Activation energy of a ``row_size_b``-byte row.
+
+        Table 4's 0.65 nJ is for the HMC's 256 B row; activation energy
+        scales with the number of cells copied into the row buffer, so
+        larger-row devices (HBM 2 KB, Wide I/O 2 4 KB) pay
+        proportionally more -- which is why the paper calls HMC "a
+        conservative example" (section 3.1).
+        """
+        if row_size_b <= 0:
+            raise ValueError("row size must be positive")
+        return self.dram_activation_j * row_size_b / 256
+
+    def activation_fraction(self, access_b: int, row_size_b: int = 256) -> float:
+        """Fraction of a single access' DRAM energy spent on activation.
+
+        Reproduces the paper's section 3.1 observation: for HMC, the row
+        activation is ~14% of the energy when the whole 256 B row is used
+        but ~80% when only 8 B are transferred, and the gap widens on
+        devices with larger row buffers.
+        """
+        if access_b <= 0:
+            raise ValueError("access_b must be positive")
+        activation = self.activation_j_for_row(row_size_b)
+        transfer = self.dram_access_j(min(access_b, row_size_b))
+        return activation / (activation + transfer)
+
+
+def default_energy_config() -> EnergyConfig:
+    """Constants exactly as listed in Table 4."""
+    return EnergyConfig()

@@ -1,0 +1,84 @@
+"""Core-model interface and shared result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.cores import CoreConfig
+from repro.cores.profile import MemEnvironment, WorkProfile
+
+
+@dataclass(frozen=True)
+class CoreEstimate:
+    """Performance estimate of one phase on one compute unit."""
+
+    time_ns: float
+    compute_time_ns: float
+    memory_time_ns: float
+    effective_ipc: float
+    bw_demand_bps: float
+    bound: str  # "compute" | "latency" | "bandwidth"
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise ValueError("time must be non-negative")
+        if self.bound not in ("compute", "latency", "bandwidth", "idle"):
+            raise ValueError(f"unknown bound: {self.bound!r}")
+
+
+class CoreModel:
+    """Base class: turn (WorkProfile, MemEnvironment) into a CoreEstimate."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self._config = config
+
+    @property
+    def config(self) -> CoreConfig:
+        return self._config
+
+    def estimate(self, profile: WorkProfile, env: MemEnvironment) -> CoreEstimate:
+        raise NotImplementedError
+
+    def _classify(
+        self, compute_ns: float, latency_ns: float, bandwidth_ns: float
+    ) -> str:
+        worst = max(compute_ns, latency_ns, bandwidth_ns)
+        if worst <= 0:
+            return "idle"
+        if worst == compute_ns:
+            return "compute"
+        if worst == latency_ns:
+            return "latency"
+        return "bandwidth"
+
+    def _finish(
+        self,
+        profile: WorkProfile,
+        compute_ns: float,
+        latency_ns: float,
+        bandwidth_ns: float,
+        overlap: float,
+    ) -> CoreEstimate:
+        """Combine component times.
+
+        ``overlap`` in [0, 1]: 1 means perfect overlap (total = max of the
+        components, an idealized OoO core), 0 means fully serialized
+        (total = sum).  Real machines sit in between.
+        """
+        if not 0.0 <= overlap <= 1.0:
+            raise ValueError("overlap must be in [0, 1]")
+        memory_ns = max(latency_ns, bandwidth_ns)
+        total_max = max(compute_ns, memory_ns)
+        total_sum = compute_ns + memory_ns
+        time_ns = overlap * total_max + (1.0 - overlap) * total_sum
+        cycles = time_ns / self._config.cycle_time_ns
+        ipc = profile.instructions / cycles if cycles > 0 else 0.0
+        bw_demand = profile.total_bytes / (time_ns * 1e-9) if time_ns > 0 else 0.0
+        return CoreEstimate(
+            time_ns=time_ns,
+            compute_time_ns=compute_ns,
+            memory_time_ns=memory_ns,
+            effective_ipc=ipc,
+            bw_demand_bps=bw_demand,
+            bound=self._classify(compute_ns, latency_ns, bandwidth_ns),
+        )

@@ -1,0 +1,110 @@
+"""Event-accurate DRAM bank with a single open-row buffer.
+
+A bank serves one access at a time.  An access to the open row pays only
+the CAS latency; any other access must first precharge the open row
+(honouring tRAS and, for writes, tWR) and activate the target row.  The
+bank records activations, hits, misses and bytes so the energy model can
+charge the Table 4 constants per event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.dram import DramTiming
+
+
+@dataclass
+class BankStats:
+    """Monotonic event counts for one bank."""
+
+    activations: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_ns: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_misses
+
+    @property
+    def row_hit_rate(self) -> Optional[float]:
+        return self.row_hits / self.accesses if self.accesses else None
+
+    def merge(self, other: "BankStats") -> None:
+        self.activations += other.activations
+        self.row_hits += other.row_hits
+        self.row_misses += other.row_misses
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.busy_ns += other.busy_ns
+
+
+@dataclass
+class Bank:
+    """Row-buffer state machine for one DRAM bank.
+
+    ``serve`` is the only mutator: given a request arrival time, row and
+    size, it returns the completion time and updates the open-row state,
+    the bank-ready time and the statistics.
+    """
+
+    timing: DramTiming
+    row_size_b: int = 256
+    open_row: Optional[int] = None
+    ready_ns: float = 0.0
+    # Earliest time the open row may be precharged (tRAS after activation,
+    # extended by tWR after writes).
+    precharge_ok_ns: float = 0.0
+    stats: BankStats = field(default_factory=BankStats)
+
+    def is_open(self, row: int) -> bool:
+        return self.open_row == row
+
+    def serve(self, arrival_ns: float, row: int, size_b: int, is_write: bool) -> float:
+        """Serve one access; return its data-available completion time."""
+        if size_b <= 0:
+            raise ValueError("access size must be positive")
+        if size_b > self.row_size_b:
+            raise ValueError(
+                f"access of {size_b} B exceeds the {self.row_size_b} B row; "
+                "split multi-row accesses before the bank"
+            )
+        t = max(arrival_ns, self.ready_ns)
+        timing = self.timing
+
+        if self.open_row == row:
+            self.stats.row_hits += 1
+        else:
+            self.stats.row_misses += 1
+            if self.open_row is not None:
+                # Precharge the stale row, honouring tRAS / tWR.
+                t = max(t, self.precharge_ok_ns)
+                t += timing.t_rp_ns
+            # Activate the target row.
+            activation_ns = t
+            t += timing.t_rcd_ns
+            self.open_row = row
+            self.stats.activations += 1
+            self.precharge_ok_ns = activation_ns + timing.t_ras_ns
+
+        # Column access (CAS): data available t_cas later.
+        t += timing.t_cas_ns
+        if is_write:
+            self.stats.bytes_written += size_b
+            self.precharge_ok_ns = max(self.precharge_ok_ns, t + timing.t_wr_ns)
+        else:
+            self.stats.bytes_read += size_b
+
+        self.stats.busy_ns += t - max(arrival_ns, 0.0) if t > arrival_ns else 0.0
+        self.ready_ns = t
+        return t
+
+    def reset(self) -> None:
+        """Close the row buffer and clear timing state (not statistics)."""
+        self.open_row = None
+        self.ready_ns = 0.0
+        self.precharge_ok_ns = 0.0

@@ -1,0 +1,11 @@
+"""Energy accounting per the paper's Table 4 custom framework.
+
+Combines event counts from the hardware models (row activations, DRAM
+bytes, LLC accesses, NoC bit-millimetres, SerDes bytes) with runtime to
+produce the per-component breakdown of figure 8: DRAM dynamic, DRAM
+static, cores, and SerDes+NOC.
+"""
+
+from repro.energy.model import EnergyBreakdown, EnergyEvents, EnergyModel
+
+__all__ = ["EnergyBreakdown", "EnergyEvents", "EnergyModel"]

@@ -1,0 +1,12 @@
+"""A small discrete-event simulation kernel.
+
+Used by the event-accurate DRAM/vault models and the shuffle network
+model.  The analytic fast paths in :mod:`repro.perf` do not need it, but
+the event models are cross-validated against the analytic ones in the
+test suite, which is how we gain confidence in the scaled-up numbers.
+"""
+
+from repro.engine.des import Event, EventKind, Simulator
+from repro.engine.stats import Counter, Histogram, RateTracker
+
+__all__ = ["Counter", "Event", "EventKind", "Histogram", "RateTracker", "Simulator"]

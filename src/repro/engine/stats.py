@@ -1,0 +1,107 @@
+"""Lightweight statistics collectors shared by the hardware models."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Named monotonically increasing counters.
+
+    A thin wrapper over a dict that forbids accidental decrements and
+    gives a stable snapshot API for the energy/performance accounting.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters are monotonic; cannot add {amount} to {name!r}")
+        self._values[name] = self._values.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        return self._values.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def merge(self, other: "Counter") -> None:
+        """Accumulate another counter's totals into this one."""
+        for name, value in other._values.items():
+            self._values[name] = self._values.get(name, 0.0) + value
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._values.items()))
+        return f"Counter({inner})"
+
+
+class Histogram:
+    """Fixed-bucket histogram for latency/occupancy distributions."""
+
+    def __init__(self, bucket_edges: List[float]) -> None:
+        if sorted(bucket_edges) != list(bucket_edges):
+            raise ValueError("bucket edges must be sorted ascending")
+        if not bucket_edges:
+            raise ValueError("need at least one bucket edge")
+        self._edges = list(bucket_edges)
+        # One bucket per edge plus an overflow bucket.
+        self._counts = [0] * (len(bucket_edges) + 1)
+        self._total = 0
+        self._sum = 0.0
+
+    def record(self, value: float) -> None:
+        self._total += 1
+        self._sum += value
+        for i, edge in enumerate(self._edges):
+            if value <= edge:
+                self._counts[i] += 1
+                return
+        self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self._total if self._total else None
+
+    def bucket_counts(self) -> List[int]:
+        return list(self._counts)
+
+
+class RateTracker:
+    """Tracks a quantity transferred over a time interval (e.g. bytes).
+
+    Used to report achieved bandwidths: record ``(amount)`` events, then
+    ask for the rate over the observed window.
+    """
+
+    def __init__(self) -> None:
+        self._amount = 0.0
+        self._first_ns: Optional[float] = None
+        self._last_ns: Optional[float] = None
+
+    def record(self, now_ns: float, amount: float) -> None:
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if self._first_ns is None:
+            self._first_ns = now_ns
+        elif now_ns < self._last_ns:
+            raise ValueError("time must be monotonically non-decreasing")
+        self._last_ns = now_ns
+        self._amount += amount
+
+    @property
+    def total(self) -> float:
+        return self._amount
+
+    def rate_per_s(self) -> Optional[float]:
+        """Average rate over the observation window, or None if < 2 points."""
+        if self._first_ns is None or self._last_ns is None:
+            return None
+        window_ns = self._last_ns - self._first_ns
+        if window_ns <= 0:
+            return None
+        return self._amount / (window_ns * 1e-9)

@@ -1,0 +1,130 @@
+"""Shared experiment plumbing: default workloads, scale, result caching.
+
+Functional datasets are kept small enough for pure-Python execution;
+``MODEL_SCALE`` extrapolates the cost model to a paper-sized dataset
+(the paper fills 512 MB vaults with 16 B tuples).  The extrapolation is
+exact for the per-tuple-linear phases and captures sorting's log factor
+by computing pass counts at model size (see ``model_scale`` in
+:mod:`repro.operators`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.analytics.workload import (
+    make_groupby_workload,
+    make_join_workload,
+    make_scan_workload,
+    make_sort_workload,
+)
+from repro.perf.result import SystemResult
+from repro.systems import build_system
+
+#: Functional dataset sizes (tuples actually moved in Python).
+FUNCTIONAL_N = {
+    "scan": 20_000,
+    "sort": 16_000,
+    "groupby": 16_000,
+    "join": (4_000, 16_000),
+}
+
+#: Cost-model scale: functional tuples x MODEL_SCALE = modeled tuples.
+#: 2000x turns the 20k-tuple functional runs into a ~40M-tuple modeled
+#: dataset (~0.6 GB of 16 B tuples), a mid-size slice of the paper's
+#: 32 GB machine that keeps per-partition working sets far beyond every
+#: cache level, as in the paper.
+MODEL_SCALE = 2000.0
+
+#: Memory partitions = vaults in the paper's machine.
+NUM_PARTITIONS = 64
+
+#: All evaluated configurations, evaluation order.
+ALL_SYSTEMS = (
+    "cpu",
+    "nmp-rand",
+    "nmp-seq",
+    "nmp-perm",
+    "mondrian-noperm",
+    "mondrian",
+)
+
+OPERATORS = ("scan", "sort", "groupby", "join")
+
+
+def make_workload(operator: str, seed: int = 17, num_partitions: int = NUM_PARTITIONS):
+    """Default workload for one operator."""
+    if operator == "scan":
+        return make_scan_workload(FUNCTIONAL_N["scan"], num_partitions, seed)
+    if operator == "sort":
+        return make_sort_workload(FUNCTIONAL_N["sort"], num_partitions, seed)
+    if operator == "groupby":
+        return make_groupby_workload(FUNCTIONAL_N["groupby"], num_partitions, seed=seed)
+    if operator == "join":
+        n_r, n_s = FUNCTIONAL_N["join"]
+        return make_join_workload(n_r, n_s, num_partitions, seed)
+    raise ValueError(f"unknown operator {operator!r}")
+
+
+class ResultMatrix:
+    """Runs and caches (system, operator) -> SystemResult."""
+
+    def __init__(
+        self,
+        systems: Iterable[str] = ALL_SYSTEMS,
+        operators: Iterable[str] = OPERATORS,
+        scale: float = MODEL_SCALE,
+        seed: int = 17,
+        num_partitions: int = NUM_PARTITIONS,
+    ) -> None:
+        self._systems = tuple(systems)
+        self._operators = tuple(operators)
+        self._scale = scale
+        self._seed = seed
+        self._num_partitions = num_partitions
+        self._cache: Dict[tuple, SystemResult] = {}
+        self._workloads: Dict[str, Any] = {}
+
+    @property
+    def systems(self) -> tuple:
+        return self._systems
+
+    @property
+    def operators(self) -> tuple:
+        return self._operators
+
+    def workload(self, operator: str):
+        if operator not in self._workloads:
+            self._workloads[operator] = make_workload(
+                operator, self._seed, self._num_partitions
+            )
+        return self._workloads[operator]
+
+    def result(self, system: str, operator: str) -> SystemResult:
+        key = (system, operator)
+        if key not in self._cache:
+            machine = build_system(system)
+            self._cache[key] = machine.run_operator(
+                operator, self.workload(operator), scale_factor=self._scale
+            )
+        return self._cache[key]
+
+    def all_results(self) -> Dict[tuple, SystemResult]:
+        for system in self._systems:
+            for operator in self._operators:
+                self.result(system, operator)
+        return dict(self._cache)
+
+
+def format_table(headers: List[str], rows: List[List[Any]]) -> str:
+    """Fixed-width ASCII table for experiment output."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in str_rows), default=0))
+        for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)

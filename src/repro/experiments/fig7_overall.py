@@ -1,0 +1,76 @@
+"""Figure 7: overall (partition + probe) speedup over the CPU baseline.
+
+The paper combines each NMP configuration's partitioning phase with the
+*best-performing* probe algorithm, NMP-rand ("For NMP and NMP-perm, we
+combine their corresponding partition phase with the best performing
+probe algorithm, NMP-rand").  Series: NMP, NMP-perm, Mondrian.
+
+Paper headline: Mondrian peaks at 49x over the CPU and 5x over the best
+NMP baseline (NMP-perm partitioning + NMP-rand probe).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import MODEL_SCALE, OPERATORS, ResultMatrix, format_table
+
+SERIES = ("nmp", "nmp-perm", "mondrian")
+
+
+def _overall_time(matrix: ResultMatrix, series: str, operator: str) -> float:
+    """Composite runtime per the paper's figure 7 rules."""
+    if series == "mondrian":
+        return matrix.result("mondrian", operator).runtime_s
+    probe = matrix.result("nmp-rand", operator).probe_time_s
+    if series == "nmp":
+        partition = matrix.result("nmp-rand", operator).partition_time_s
+    elif series == "nmp-perm":
+        partition = matrix.result("nmp-perm", operator).partition_time_s
+    else:
+        raise ValueError(f"unknown series {series!r}")
+    return partition + probe
+
+
+def run(scale: float = MODEL_SCALE, seed: int = 17) -> Dict[str, object]:
+    matrix = ResultMatrix(
+        systems=("cpu", "nmp-rand", "nmp-perm", "mondrian"),
+        operators=OPERATORS,
+        scale=scale,
+        seed=seed,
+    )
+    speedups: Dict[str, Dict[str, float]] = {}
+    for operator in OPERATORS:
+        cpu_time = matrix.result("cpu", operator).runtime_s
+        speedups[operator] = {
+            series: cpu_time / _overall_time(matrix, series, operator)
+            for series in SERIES
+        }
+    rows = [
+        [operator] + [f"{speedups[operator][s]:.1f}x" for s in SERIES]
+        for operator in OPERATORS
+    ]
+    peak = max(speedups[op]["mondrian"] for op in OPERATORS)
+    best_nmp_gap = max(
+        speedups[op]["mondrian"] / speedups[op]["nmp-perm"] for op in OPERATORS
+    )
+    return {
+        "speedups": speedups,
+        "mondrian_peak": peak,
+        "mondrian_vs_best_nmp_peak": best_nmp_gap,
+        "table": format_table(["Operator", "NMP", "NMP-perm", "Mondrian"], rows),
+    }
+
+
+def main() -> None:
+    out = run()
+    print("Figure 7: overall speedup vs CPU\n")
+    print(out["table"])
+    print(
+        f"\nMondrian peak: {out['mondrian_peak']:.1f}x (paper: up to 49x); "
+        f"vs best NMP: {out['mondrian_vs_best_nmp_peak']:.1f}x (paper: up to 5x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

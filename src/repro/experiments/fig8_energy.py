@@ -1,0 +1,58 @@
+"""Figure 8: per-system energy breakdown across the four operators.
+
+Components (normalized fractions): DRAM dynamic, DRAM static, cores,
+SerDes+NOC.  Paper shape:
+
+- CPU: cores dominate (DRAM bandwidth severely underutilized, 2.1 W
+  cores x 16).
+- NMP / NMP-perm: near-identical profiles (probe dominates execution),
+  static-heavy components (DRAM static, SerDes idle) prominent because
+  runtimes are long relative to traffic.
+- Mondrian: aggressive bandwidth utilization shrinks the static
+  components' share relative to NMP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import MODEL_SCALE, OPERATORS, ResultMatrix, format_table
+from repro.energy.model import EnergyBreakdown
+
+SYSTEMS = ("cpu", "nmp-rand", "nmp-perm", "mondrian")
+DISPLAY = {"cpu": "CPU", "nmp-rand": "NMP", "nmp-perm": "NMP-perm", "mondrian": "Mondrian"}
+COMPONENTS = ("dram_dyn", "dram_static", "cores", "serdes_noc")
+
+
+def run(scale: float = MODEL_SCALE, seed: int = 17) -> Dict[str, object]:
+    matrix = ResultMatrix(systems=SYSTEMS, operators=OPERATORS, scale=scale, seed=seed)
+    fractions: Dict[str, Dict[str, float]] = {}
+    totals: Dict[str, float] = {}
+    for system in SYSTEMS:
+        combined = EnergyBreakdown()
+        for operator in OPERATORS:
+            combined.accumulate(matrix.result(system, operator).energy)
+        fractions[system] = combined.fractions()
+        totals[system] = combined.total_j
+    rows = [
+        [DISPLAY[system]]
+        + [f"{fractions[system][c] * 100:.1f}%" for c in COMPONENTS]
+        + [f"{totals[system]:.3f} J"]
+        for system in SYSTEMS
+    ]
+    return {
+        "fractions": fractions,
+        "totals_j": totals,
+        "table": format_table(
+            ["System", "DRAM dyn", "DRAM static", "Cores", "SerDes+NOC", "Total"], rows
+        ),
+    }
+
+
+def main() -> None:
+    print("Figure 8: energy breakdown (all four operators combined)\n")
+    print(run()["table"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Figure 9: efficiency (performance per watt) improvement over the CPU.
+
+Series: NMP, NMP-perm, Mondrian over the four operators (log scale in
+the paper).  Paper shape: efficiency follows the performance trends with
+smaller gains (Mondrian draws more dynamic power for its bandwidth);
+Mondrian peaks at 28x over the CPU and ~5x over the best NMP baseline.
+
+The composite series follow figure 7's composition rules (NMP and
+NMP-perm use the NMP-rand probe).  Composite energy is approximated by
+summing the corresponding phases' energies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.common import MODEL_SCALE, OPERATORS, ResultMatrix, format_table
+
+SERIES = ("nmp", "nmp-perm", "mondrian")
+
+
+def _composite(matrix: ResultMatrix, series: str, operator: str) -> Tuple[float, float]:
+    """(runtime_s, energy_j) of a figure 7-style composite."""
+    if series == "mondrian":
+        r = matrix.result("mondrian", operator)
+        return r.runtime_s, r.energy.total_j
+    rand = matrix.result("nmp-rand", operator)
+    part_sys = "nmp-rand" if series == "nmp" else "nmp-perm"
+    part = matrix.result(part_sys, operator)
+    # Energy split: partition share from the partition system, probe
+    # share from nmp-rand.  Shares scale with the phases' runtimes.
+    part_frac = part.partition_time_s / part.runtime_s if part.runtime_s else 0.0
+    probe_frac = rand.probe_time_s / rand.runtime_s if rand.runtime_s else 0.0
+    runtime = part.partition_time_s + rand.probe_time_s
+    energy = part.energy.total_j * part_frac + rand.energy.total_j * probe_frac
+    return runtime, energy
+
+
+def run(scale: float = MODEL_SCALE, seed: int = 17) -> Dict[str, object]:
+    matrix = ResultMatrix(
+        systems=("cpu", "nmp-rand", "nmp-perm", "mondrian"),
+        operators=OPERATORS,
+        scale=scale,
+        seed=seed,
+    )
+    improvements: Dict[str, Dict[str, float]] = {}
+    for operator in OPERATORS:
+        cpu = matrix.result("cpu", operator)
+        # perf/W = (1/runtime) / (energy/runtime) = 1/energy.
+        cpu_eff = 1.0 / cpu.energy.total_j
+        improvements[operator] = {}
+        for series in SERIES:
+            _, energy = _composite(matrix, series, operator)
+            improvements[operator][series] = (1.0 / energy) / cpu_eff
+    rows = [
+        [operator] + [f"{improvements[operator][s]:.1f}x" for s in SERIES]
+        for operator in OPERATORS
+    ]
+    peak = max(improvements[op]["mondrian"] for op in OPERATORS)
+    return {
+        "improvements": improvements,
+        "mondrian_peak": peak,
+        "table": format_table(["Operator", "NMP", "NMP-perm", "Mondrian"], rows),
+    }
+
+
+def main() -> None:
+    out = run()
+    print("Figure 9: efficiency improvement vs CPU\n")
+    print(out["table"])
+    print(f"\nMondrian peak: {out['mondrian_peak']:.1f}x (paper: up to 28x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Run the complete reproduction: every table, figure and ablation.
+
+Usage::
+
+    python -m repro.experiments.run_all            # full report
+    python -m repro.experiments.run_all --fast     # reduced model scale
+
+Prints each artifact's table in paper order, with the paper's values
+alongside where the experiment reports them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ablations,
+    fig6_probe,
+    fig7_overall,
+    fig8_energy,
+    fig9_efficiency,
+    sec31_activation,
+    sec32_mlp,
+    skew_partitioning,
+    table1_operators,
+    table2_phases,
+    table5_partition,
+)
+from repro.experiments.common import MODEL_SCALE
+
+SCALED = (
+    ("Table 5: partition speedup vs CPU", table5_partition),
+    ("Figure 6: probe speedup vs CPU", fig6_probe),
+    ("Figure 7: overall speedup vs CPU", fig7_overall),
+    ("Figure 8: energy breakdown", fig8_energy),
+    ("Figure 9: efficiency improvement vs CPU", fig9_efficiency),
+)
+
+UNSCALED = (
+    ("Table 1: Spark operator characterization", table1_operators),
+    ("Table 2: operator phases (measured)", table2_phases),
+    ("Section 3.1: activation energy share", sec31_activation),
+    ("Section 3.2: MLP-limited bandwidth", sec32_mlp),
+    ("Two-round partitioning under skew (future work)", skew_partitioning),
+)
+
+
+def _banner(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="use a reduced model scale (500x instead of 2000x)",
+    )
+    args = parser.parse_args()
+    scale = 500.0 if args.fast else MODEL_SCALE
+
+    start = time.time()
+    print(f"Mondrian Data Engine reproduction -- full report (scale {scale:.0f}x)")
+
+    for title, module in UNSCALED:
+        _banner(title)
+        print(module.run()["table"])
+
+    for title, module in SCALED:
+        _banner(title)
+        out = module.run(scale=scale)
+        print(out["table"])
+        if "mondrian_peak" in out:
+            print(f"\nMondrian peak: {out['mondrian_peak']:.1f}x")
+
+    _banner("Ablations: SIMD width / row buffer / FR-FCFS window")
+    out = ablations.run(scale=scale)
+    print(out["simd_table"])
+    print()
+    print(out["row_buffer_table"])
+    print()
+    print(out["window_table"])
+
+    print(f"\nDone in {time.time() - start:.1f}s.")
+
+
+if __name__ == "__main__":
+    main()

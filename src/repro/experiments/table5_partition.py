@@ -1,0 +1,63 @@
+"""Table 5: partitioning-phase speedup over the CPU baseline.
+
+Paper values: NMP 58x, NMP-perm 98x, Mondrian-noperm 142x, Mondrian
+273x.  The partitioning phase is near-identical across operators (the
+paper shows Join's); we measure Join's partitioning phases.
+
+Expected shape: strictly increasing NMP < NMP-perm < Mondrian-noperm <
+Mondrian, with NMP-perm/NMP around 1.7x and Mondrian/Mondrian-noperm
+around 1.9x (the paper's step ratios).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import MODEL_SCALE, ResultMatrix, format_table
+from repro.perf.result import partition_speedup
+
+PAPER_SPEEDUPS = {
+    "nmp-rand": 58.0,
+    "nmp-perm": 98.0,
+    "mondrian-noperm": 142.0,
+    "mondrian": 273.0,
+}
+
+#: Display aliases: Table 5 calls the nmp-rand configuration "NMP"
+#: because partitioning does not depend on the probe algorithm.
+DISPLAY = {
+    "nmp-rand": "NMP",
+    "nmp-perm": "NMP-perm",
+    "mondrian-noperm": "Mondrian-noperm",
+    "mondrian": "Mondrian",
+}
+
+
+def run(scale: float = MODEL_SCALE, seed: int = 17) -> Dict[str, object]:
+    matrix = ResultMatrix(
+        systems=("cpu",) + tuple(PAPER_SPEEDUPS), operators=("join",), scale=scale, seed=seed
+    )
+    cpu = matrix.result("cpu", "join")
+    speedups = {
+        name: partition_speedup(cpu, matrix.result(name, "join"))
+        for name in PAPER_SPEEDUPS
+    }
+    rows = [
+        [DISPLAY[name], f"{speedups[name]:.1f}x", f"{PAPER_SPEEDUPS[name]:.0f}x"]
+        for name in PAPER_SPEEDUPS
+    ]
+    return {
+        "speedups": speedups,
+        "paper": PAPER_SPEEDUPS,
+        "cpu_partition_s": cpu.partition_time_s,
+        "table": format_table(["System", "Measured", "Paper"], rows),
+    }
+
+
+def main() -> None:
+    print("Table 5: partition speedup vs CPU\n")
+    print(run()["table"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Interconnect models: on-chip 2D mesh, inter-stack SerDes links, and the
+two system topologies (star for the CPU-centric machine, fully connected
+for the NMP machines).
+"""
+
+from repro.interconnect.mesh import MeshNoc
+from repro.interconnect.serdes import SerdesLink
+from repro.interconnect.topology import (
+    FullyConnectedTopology,
+    Route,
+    StarTopology,
+    Topology,
+    build_topology,
+)
+
+__all__ = [
+    "FullyConnectedTopology",
+    "MeshNoc",
+    "Route",
+    "SerdesLink",
+    "StarTopology",
+    "Topology",
+    "build_topology",
+]

@@ -1,0 +1,14 @@
+"""Flat physical address space and HMC address decomposition.
+
+The paper assumes "a flat physical address space spanning across
+conventional planar DRAM and the NMP-capable devices" with each vault
+owning one contiguous memory partition.  :class:`AddressMap` translates a
+flat byte address to its ``(stack, vault, bank, row, column)`` DRAM
+coordinates, and :class:`MemoryLayout` allocates named regions (relations,
+partition destination buffers) inside vaults.
+"""
+
+from repro.mem.address import AddressMap, DramCoord
+from repro.mem.layout import MemoryLayout, Region
+
+__all__ = ["AddressMap", "DramCoord", "MemoryLayout", "Region"]

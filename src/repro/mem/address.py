@@ -1,0 +1,113 @@
+"""Flat-address to DRAM-coordinate translation.
+
+Layout decisions (documented here because every model depends on them):
+
+- The flat space is **vault-contiguous**: vault ``v`` owns addresses
+  ``[v * vault_capacity, (v + 1) * vault_capacity)``.  Vaults are numbered
+  stack-major: vault id = ``stack * vaults_per_stack + local_vault``.
+  This matches the paper's notion of a "memory partition" per vault that
+  software targets during partitioning.
+- Within a vault, consecutive rows are **interleaved across banks**
+  round-robin, so a sequential stream engages all 8 banks of a vault and
+  a bank's tRC never throttles streaming.
+- A row is 256 B (HMC).  The column offset is the byte offset within the
+  row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.dram import HmcGeometry
+
+
+@dataclass(frozen=True)
+class DramCoord:
+    """Fully decoded DRAM coordinates of one byte address."""
+
+    stack: int
+    vault: int  # global vault id (stack-major)
+    bank: int
+    row: int  # row index within the bank
+    column: int  # byte offset within the row
+
+    @property
+    def local_vault(self) -> int:
+        """Vault index within its stack (requires the default 16/stack)."""
+        return self.vault % 16
+
+
+class AddressMap:
+    """Bidirectional mapping between flat addresses and DRAM coordinates."""
+
+    def __init__(self, geometry: HmcGeometry) -> None:
+        self._geo = geometry
+
+    @property
+    def geometry(self) -> HmcGeometry:
+        return self._geo
+
+    def check(self, addr: int) -> None:
+        if not 0 <= addr < self._geo.total_capacity_b:
+            raise ValueError(
+                f"address {addr:#x} outside the {self._geo.total_capacity_b:#x}-byte space"
+            )
+
+    def vault_of(self, addr: int) -> int:
+        """Global vault id owning ``addr``."""
+        self.check(addr)
+        return addr // self._geo.vault_capacity_b
+
+    def stack_of(self, addr: int) -> int:
+        return self.vault_of(addr) // self._geo.vaults_per_stack
+
+    def vault_base(self, vault: int) -> int:
+        """First flat address of a vault's memory partition."""
+        if not 0 <= vault < self._geo.total_vaults:
+            raise ValueError(f"vault {vault} out of range")
+        return vault * self._geo.vault_capacity_b
+
+    def decode(self, addr: int) -> DramCoord:
+        """Translate a flat byte address to DRAM coordinates."""
+        self.check(addr)
+        geo = self._geo
+        vault = addr // geo.vault_capacity_b
+        offset = addr % geo.vault_capacity_b
+        global_row = offset // geo.row_size_b
+        column = offset % geo.row_size_b
+        bank = global_row % geo.banks_per_vault
+        row = global_row // geo.banks_per_vault
+        return DramCoord(
+            stack=vault // geo.vaults_per_stack,
+            vault=vault,
+            bank=bank,
+            row=row,
+            column=column,
+        )
+
+    def encode(self, coord: DramCoord) -> int:
+        """Inverse of :meth:`decode`."""
+        geo = self._geo
+        if not 0 <= coord.vault < geo.total_vaults:
+            raise ValueError(f"vault {coord.vault} out of range")
+        if not 0 <= coord.bank < geo.banks_per_vault:
+            raise ValueError(f"bank {coord.bank} out of range")
+        if not 0 <= coord.row < geo.rows_per_bank:
+            raise ValueError(f"row {coord.row} out of range")
+        if not 0 <= coord.column < geo.row_size_b:
+            raise ValueError(f"column {coord.column} out of range")
+        global_row = coord.row * geo.banks_per_vault + coord.bank
+        offset = global_row * geo.row_size_b + coord.column
+        return coord.vault * geo.vault_capacity_b + offset
+
+    def row_id(self, addr: int) -> int:
+        """Globally unique (vault, bank, row) identifier for an address.
+
+        Two addresses share a row id iff they live in the same physical
+        DRAM row -- the unit of row-buffer locality accounting.
+        """
+        self.check(addr)
+        return addr // self._geo.row_size_b
+
+    def same_row(self, a: int, b: int) -> bool:
+        return self.row_id(a) == self.row_id(b)

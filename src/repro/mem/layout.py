@@ -1,0 +1,96 @@
+"""Named region allocation inside vault memory partitions.
+
+The CPU (in its supervisory role, paper section 5.1) allocates input
+relations and partition destination buffers before launching an operator.
+:class:`MemoryLayout` is that allocator: a simple per-vault bump pointer
+that hands out row-aligned regions and remembers them by name, so the
+operator implementations and the shuffle model agree on where everything
+lives without sharing hidden state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config.dram import HmcGeometry
+from repro.mem.address import AddressMap
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous, row-aligned allocation inside one vault."""
+
+    name: str
+    vault: int
+    base: int
+    size_b: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_b
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class MemoryLayout:
+    """Bump-pointer allocator over the vault-contiguous address space."""
+
+    def __init__(self, geometry: HmcGeometry) -> None:
+        self._geo = geometry
+        self._amap = AddressMap(geometry)
+        self._next_free: List[int] = [
+            self._amap.vault_base(v) for v in range(geometry.total_vaults)
+        ]
+        self._regions: Dict[str, Region] = {}
+
+    @property
+    def address_map(self) -> AddressMap:
+        return self._amap
+
+    def _align_up(self, addr: int) -> int:
+        row = self._geo.row_size_b
+        return (addr + row - 1) // row * row
+
+    def free_bytes(self, vault: int) -> int:
+        limit = self._amap.vault_base(vault) + self._geo.vault_capacity_b
+        return limit - self._next_free[vault]
+
+    def allocate(self, name: str, vault: int, size_b: int) -> Region:
+        """Allocate ``size_b`` bytes in ``vault`` under a unique name."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size_b <= 0:
+            raise ValueError("size must be positive")
+        base = self._align_up(self._next_free[vault])
+        limit = self._amap.vault_base(vault) + self._geo.vault_capacity_b
+        if base + size_b > limit:
+            raise MemoryError(
+                f"vault {vault} cannot fit {size_b} bytes "
+                f"(only {limit - base} free)"
+            )
+        region = Region(name=name, vault=vault, base=base, size_b=size_b)
+        self._next_free[vault] = base + size_b
+        self._regions[name] = region
+        return region
+
+    def allocate_striped(self, name: str, size_b_per_vault: int) -> List[Region]:
+        """Allocate one same-sized region in every vault (e.g. a relation
+        range-partitioned across all memory partitions)."""
+        return [
+            self.allocate(f"{name}/v{v}", v, size_b_per_vault)
+            for v in range(self._geo.total_vaults)
+        ]
+
+    def get(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise KeyError(f"no region named {name!r}") from None
+
+    def regions_in_vault(self, vault: int) -> List[Region]:
+        return [r for r in self._regions.values() if r.vault == vault]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions

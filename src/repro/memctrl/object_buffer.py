@@ -1,0 +1,89 @@
+"""Per-compute-unit object buffers (paper section 5.3).
+
+Permutability holds per *object*, not per memory message: if one object
+were split across two network messages the destination controller could
+interleave other objects between the halves and corrupt it.  The object
+buffer therefore accumulates a compute unit's partial stores and drains
+to the vault router only when a whole object (of the size the software
+declared at region setup) has been assembled, injecting object-sized
+write messages into the network.
+
+The hardware buffer is 256 B -- the HMC protocol's maximum message size
+and the row-buffer size -- which bounds the permutable object size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class ObjectBuffer:
+    """Assembles partial stores into whole-object network messages."""
+
+    def __init__(self, object_b: int, capacity_b: int = 256) -> None:
+        if object_b <= 0:
+            raise ValueError("object size must be positive")
+        if object_b > capacity_b:
+            raise ValueError(
+                f"object size {object_b} B exceeds the {capacity_b} B object buffer"
+            )
+        self._object_b = object_b
+        self._capacity_b = capacity_b
+        self._pending: List[Tuple[int, object]] = []  # (size_b, fragment)
+        self._pending_b = 0
+        self._drained_messages = 0
+
+    @property
+    def object_b(self) -> int:
+        return self._object_b
+
+    @property
+    def pending_b(self) -> int:
+        """Bytes buffered and not yet drained."""
+        return self._pending_b
+
+    @property
+    def drained_messages(self) -> int:
+        """Whole-object messages injected into the network so far."""
+        return self._drained_messages
+
+    def store(self, size_b: int, fragment: object = None) -> Optional[List[object]]:
+        """Buffer one partial store.
+
+        Returns the list of fragments forming a complete object when the
+        store completes one (the message to inject), else ``None``.
+        Partial stores may not straddle an object boundary -- the software
+        contract is that objects are written with object-aligned stores.
+        """
+        if size_b <= 0:
+            raise ValueError("store size must be positive")
+        if size_b > self._object_b:
+            raise ValueError(
+                f"store of {size_b} B larger than the {self._object_b} B object"
+            )
+        if self._pending_b + size_b > self._object_b:
+            raise ValueError(
+                "store straddles an object boundary; software must write "
+                "objects with object-aligned stores"
+            )
+        self._pending.append((size_b, fragment))
+        self._pending_b += size_b
+        if self._pending_b == self._object_b:
+            message = [frag for _, frag in self._pending]
+            self._pending.clear()
+            self._pending_b = 0
+            self._drained_messages += 1
+            return message
+        return None
+
+    def flush_check(self) -> None:
+        """Assert the buffer is empty at shuffle_end.
+
+        A non-empty buffer at the barrier means the software wrote a
+        fractional object -- a programming error the hardware cannot fix.
+        """
+        if self._pending_b:
+            raise RuntimeError(
+                f"object buffer holds {self._pending_b} B of an incomplete "
+                "object at shuffle_end"
+            )

@@ -1,0 +1,155 @@
+"""Programmable stream buffers feeding the Mondrian compute unit.
+
+The logic layer hosts eight 384 B stream buffers (1.5x the 256 B row
+buffer), sized to mask DRAM latency (paper section 5.2).  Software ties a
+contiguous address range to each buffer (``prefetch_in_str_buf``), then
+repeatedly reads the stream heads and pops consumed tuples
+(figure 4b); the hardware keeps issuing binding prefetches so the SIMD
+unit never waits for memory as long as aggregate consumption stays under
+the vault's bandwidth.
+
+The model is functional + analytic: it tracks per-stream positions for
+correctness (mergesort consumes streams at data-dependent rates) and
+computes refill/stall statistics for the performance model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config.dram import DramTiming, HmcGeometry
+
+
+@dataclass(frozen=True)
+class StreamDescriptor:
+    """One stream: a contiguous `[start, start + size)` byte range."""
+
+    start: int
+    size_b: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.size_b < 0:
+            raise ValueError("bad stream range")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size_b
+
+
+class StreamBufferSet:
+    """The eight stream buffers of one Mondrian compute unit."""
+
+    def __init__(
+        self,
+        geometry: HmcGeometry,
+        timing: DramTiming,
+        num_buffers: int = 8,
+        buffer_b: int = 384,
+    ) -> None:
+        if num_buffers < 1 or buffer_b <= 0:
+            raise ValueError("bad stream-buffer configuration")
+        self._geo = geometry
+        self._timing = timing
+        self._num_buffers = num_buffers
+        self._buffer_b = buffer_b
+        self._streams: List[StreamDescriptor] = []
+        self._consumed: List[int] = []
+        self._refills = 0
+        self._bytes_streamed = 0
+
+    @property
+    def num_buffers(self) -> int:
+        return self._num_buffers
+
+    @property
+    def buffer_b(self) -> int:
+        return self._buffer_b
+
+    @property
+    def bytes_streamed(self) -> int:
+        return self._bytes_streamed
+
+    @property
+    def refills(self) -> int:
+        """Buffer refills issued (each a sequential DRAM read burst)."""
+        return self._refills
+
+    def configure(self, streams: List[StreamDescriptor]) -> None:
+        """``prefetch_in_str_buf``: tie address ranges to the buffers."""
+        if len(streams) > self._num_buffers:
+            raise ValueError(
+                f"{len(streams)} streams exceed the {self._num_buffers} buffers"
+            )
+        if not streams:
+            raise ValueError("need at least one stream")
+        self._streams = list(streams)
+        self._consumed = [0] * len(streams)
+        # Initial fill of every buffer counts as refills.
+        for stream in streams:
+            self._refills += math.ceil(min(stream.size_b, self._buffer_b) / self._buffer_b)
+
+    def remaining_b(self, stream_idx: int) -> int:
+        self._check_configured(stream_idx)
+        return self._streams[stream_idx].size_b - self._consumed[stream_idx]
+
+    def stream_done(self, stream_idx: int) -> bool:
+        return self.remaining_b(stream_idx) == 0
+
+    def all_done(self) -> bool:
+        """``all_stream_buffer_done`` from the programming interface."""
+        if not self._streams:
+            raise RuntimeError("stream buffers not configured")
+        return all(self.stream_done(i) for i in range(len(self._streams)))
+
+    def head_addr(self, stream_idx: int) -> Optional[int]:
+        """Address of the next unconsumed byte, or None when exhausted."""
+        if self.stream_done(stream_idx):
+            return None
+        return self._streams[stream_idx].start + self._consumed[stream_idx]
+
+    def pop(self, stream_idx: int, size_b: int) -> int:
+        """``pop_input_stream``: consume bytes from a stream head.
+
+        Returns the address the consumed bytes started at.  Crossing a
+        buffer boundary triggers a refill (binding prefetch of the next
+        chunk), which the statistics record.
+        """
+        self._check_configured(stream_idx)
+        if size_b <= 0:
+            raise ValueError("pop size must be positive")
+        if size_b > self.remaining_b(stream_idx):
+            raise ValueError(
+                f"stream {stream_idx} holds only {self.remaining_b(stream_idx)} B"
+            )
+        addr = self._streams[stream_idx].start + self._consumed[stream_idx]
+        before = self._consumed[stream_idx] // self._buffer_b
+        self._consumed[stream_idx] += size_b
+        after = self._consumed[stream_idx] // self._buffer_b
+        refills = after - before
+        if refills and not self.stream_done(stream_idx):
+            self._refills += refills
+        self._bytes_streamed += size_b
+        return addr
+
+    def steady_state_stall_free(self, consume_bw_bps: float) -> bool:
+        """Whether compute at ``consume_bw_bps`` never stalls on memory.
+
+        The buffers hide latency as long as (a) a buffer covers the DRAM
+        round trip at the consumption rate and (b) aggregate consumption
+        stays under the vault's peak bandwidth.
+        """
+        if consume_bw_bps <= 0:
+            raise ValueError("consumption bandwidth must be positive")
+        if consume_bw_bps > self._geo.vault_peak_bw_bps:
+            return False
+        latency_ns = self._timing.row_miss_latency_ns
+        covered_b = consume_bw_bps * latency_ns * 1e-9
+        return covered_b <= self._buffer_b
+
+    def _check_configured(self, stream_idx: int) -> None:
+        if not self._streams:
+            raise RuntimeError("stream buffers not configured")
+        if not 0 <= stream_idx < len(self._streams):
+            raise ValueError(f"stream index {stream_idx} out of range")

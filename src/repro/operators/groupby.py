@@ -1,0 +1,233 @@
+"""The Group by operator.
+
+Partitioning is identical to Join's (low-order bits).  The probe phase
+groups each partition's tuples by key and applies the paper's six
+aggregation functions -- avg, count, min, max, sum, and sum squared --
+to every group (section 6; the modeled query has an average group size
+of four tuples).
+
+- **hash variant**: find-or-insert each tuple's group slot in a hash
+  table and update the six running aggregates (random read-modify-write
+  per tuple).
+- **sort variant**: mergesort the partition, then one sequential pass
+  detects group boundaries and folds the aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analytics.tuples import TUPLE_B, Relation
+from repro.analytics.workload import GroupByWorkload
+from repro.operators import costs
+from repro.operators.base import PHASE_PROBE, OperatorRun, OperatorVariant, PhaseCost
+from repro.operators.hashtable import LinearProbingHashTable
+from repro.operators.partition import SCHEME_LOW_BITS, run_partitioning
+from repro.operators.sort_algos import merge_passes_needed, mergesort
+
+#: Aggregate record: key + count + sum + min + max + sumsq + avg = 56 B,
+#: padded to the 64 B slot of the cost model.
+GROUP_OUT_B = 64
+
+AGGREGATE_NAMES = ("count", "sum", "min", "max", "avg", "sumsq")
+
+
+@dataclass
+class GroupByOutput:
+    """Per-group aggregates, keyed by group key."""
+
+    groups: Dict[int, Dict[str, float]]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def aggregate(self, key: int, name: str) -> float:
+        return self.groups[key][name]
+
+
+def _aggregate_sorted(keys: np.ndarray, payloads: np.ndarray) -> Dict[int, Dict[str, float]]:
+    """Fold the six aggregates over key-sorted data (one sequential pass)."""
+    groups: Dict[int, Dict[str, float]] = {}
+    if len(keys) == 0:
+        return groups
+    boundaries = np.flatnonzero(np.diff(keys)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [len(keys)]])
+    values = payloads.astype(np.float64)
+    for start, end in zip(starts, ends):
+        chunk = values[start:end]
+        count = float(end - start)
+        total = float(chunk.sum())
+        groups[int(keys[start])] = {
+            "count": count,
+            "sum": total,
+            "min": float(chunk.min()),
+            "max": float(chunk.max()),
+            "avg": total / count,
+            "sumsq": float((chunk * chunk).sum()),
+        }
+    return groups
+
+
+def hash_groupby_costs(
+    n: int, num_groups: int, variant: OperatorVariant
+) -> List[PhaseCost]:
+    """Random-access group aggregation cost.
+
+    The region one unit walks is its partition's group table; each tuple
+    performs a dependent read-modify-write of its group slot.
+    """
+    per_part_groups = max(1, num_groups // variant.num_partitions)
+    table_b = max(
+        costs.GROUP_SLOT_B,
+        int(per_part_groups / costs.HASH_TABLE_LOAD_FACTOR) * costs.GROUP_SLOT_B,
+    )
+    return [
+        PhaseCost(
+            name="hash-aggregate",
+            category=PHASE_PROBE,
+            instructions=n * (costs.HASH_KEY + costs.AGG_UPDATE),
+            dep_ilp=costs.PROBE_DEP_ILP,
+            mem_parallelism=costs.PROBE_MEM_PARALLELISM,
+            rand_reads=n,
+            rand_writes=n,
+            rand_access_b=costs.GROUP_SLOT_B,
+            rand_region_b=table_b,
+            seq_read_b=n * TUPLE_B,
+            seq_write_b=num_groups * GROUP_OUT_B,
+            notes="find-or-insert group slot, update six aggregates",
+        )
+    ]
+
+
+def sort_groupby_costs(
+    n: int, num_groups: int, variant: OperatorVariant, num_partitions: int
+) -> List[PhaseCost]:
+    """Sort-then-sequential-aggregate cost."""
+    initial_run = costs.BITONIC_RUN_TUPLES if variant.simd else 1
+    way = costs.MERGE_WAY_SIMD if variant.simd else costs.MERGE_WAY_SCALAR
+    per_part = max(1, n // num_partitions)
+    passes = merge_passes_needed(per_part, initial_run, way)
+    sort_inst = n * costs.MERGE_STEP * passes
+    if variant.simd:
+        k = costs.BITONIC_RUN_TUPLES.bit_length() - 1
+        sort_inst += n * costs.BITONIC_STEP * (k * (k + 1) // 2)
+    sort_phase = PhaseCost(
+        name="sort-groups",
+        category=PHASE_PROBE,
+        instructions=sort_inst,
+        simd_ops=sort_inst if variant.simd else 0.0,
+        dep_ilp=costs.MERGE_DEP_ILP,
+        mem_parallelism=8.0,
+        simd_vectorizable=variant.simd,
+        seq_read_b=n * TUPLE_B * (passes + (1 if variant.simd else 0)),
+        seq_write_b=n * TUPLE_B * (passes + (1 if variant.simd else 0)),
+        notes=f"mergesort partition, {passes} merge passes",
+    )
+    agg_inst = n * costs.SEQ_AGG
+    agg_phase = PhaseCost(
+        name="seq-aggregate",
+        category=PHASE_PROBE,
+        instructions=agg_inst,
+        simd_ops=agg_inst if variant.simd else 0.0,
+        dep_ilp=costs.MERGE_DEP_ILP,
+        mem_parallelism=8.0,
+        simd_vectorizable=variant.simd,
+        seq_read_b=n * TUPLE_B,
+        seq_write_b=num_groups * GROUP_OUT_B,
+        notes="one sequential pass folding the six aggregates",
+    )
+    return [sort_phase, agg_phase]
+
+
+def _hash_groupby_partition(part: Relation) -> Dict[int, Dict[str, float]]:
+    """Functional hash-based grouping of one partition.
+
+    Uses the linear-probing table to assign group slots (exercising the
+    same substrate the cost model charges), then vectorized aggregation.
+    """
+    if len(part) == 0:
+        return {}
+    unique_keys = np.unique(part.keys)
+    table = LinearProbingHashTable(len(unique_keys), costs.HASH_TABLE_LOAD_FACTOR)
+    table.insert_batch(unique_keys, np.arange(len(unique_keys), dtype=np.uint64))
+    group_ids, found = table.lookup_batch(part.keys)
+    if not np.all(found):
+        raise AssertionError("hash table lost a group key")
+    gid = group_ids.astype(np.int64)
+    values = part.payloads.astype(np.float64)
+    num = len(unique_keys)
+    counts = np.bincount(gid, minlength=num)
+    sums = np.bincount(gid, weights=values, minlength=num)
+    sumsqs = np.bincount(gid, weights=values * values, minlength=num)
+    mins = np.full(num, np.inf)
+    maxs = np.full(num, -np.inf)
+    np.minimum.at(mins, gid, values)
+    np.maximum.at(maxs, gid, values)
+    return {
+        int(key): {
+            "count": float(counts[i]),
+            "sum": float(sums[i]),
+            "min": float(mins[i]),
+            "max": float(maxs[i]),
+            "avg": float(sums[i] / counts[i]),
+            "sumsq": float(sumsqs[i]),
+        }
+        for i, key in enumerate(unique_keys)
+    }
+
+
+def _sort_groupby_partition(part: Relation, simd: bool) -> Dict[int, Dict[str, float]]:
+    """Functional sort-based grouping of one partition."""
+    if len(part) == 0:
+        return {}
+    sorted_data, _ = mergesort(part.data, bitonic_initial=simd)
+    return _aggregate_sorted(sorted_data["key"], sorted_data["payload"])
+
+
+def run_groupby(
+    workload: GroupByWorkload, variant: OperatorVariant, model_scale: float = 1.0
+) -> OperatorRun:
+    """Execute Group by functionally under the given variant and cost it."""
+    partitioned = run_partitioning(
+        workload.partitions,
+        variant,
+        SCHEME_LOW_BITS,
+        workload.key_space_bits,
+        model_scale=model_scale,
+    )
+    groups: Dict[int, Dict[str, float]] = {}
+    for part in partitioned.partitions:
+        if variant.probe_algorithm == "hash":
+            part_groups = _hash_groupby_partition(part)
+        else:
+            part_groups = _sort_groupby_partition(part, variant.simd)
+        overlap = groups.keys() & part_groups.keys()
+        if overlap:
+            # Low-bit partitioning sends equal keys to one partition, so
+            # a key seen twice means the shuffle misrouted tuples.
+            raise AssertionError(f"group keys split across partitions: {overlap}")
+        groups.update(part_groups)
+
+    n = workload.total_tuples
+    num_groups = len(groups)
+    model_n = int(round(n * model_scale))
+    model_groups = max(1, int(round(num_groups * model_scale)))
+    if variant.probe_algorithm == "hash":
+        probe_phases = hash_groupby_costs(model_n, model_groups, variant)
+    else:
+        probe_phases = sort_groupby_costs(
+            model_n, model_groups, variant, variant.num_partitions
+        )
+
+    return OperatorRun(
+        operator="groupby",
+        variant=variant.label,
+        phases=partitioned.phases + probe_phases,
+        output=GroupByOutput(groups=groups),
+        metadata={"tuples": n, "groups": num_groups},
+    )

@@ -1,0 +1,199 @@
+"""The partitioning phase shared by Join, Group by and Sort (Table 2).
+
+Two steps:
+
+1. **Histogram build** -- every source partition hashes its keys and
+   counts tuples per destination; prefix sums give exact write offsets
+   and the per-destination totals that shuffle_begin announces.
+2. **Data distribution** -- tuples are copied to their destination
+   partitions.  Addressed mode computes each tuple's exact destination
+   address (per-bucket cursor chains -- the dependency bottleneck);
+   permutable mode streams tuples through the object buffer and lets the
+   destination vault controller place them (simpler code, sequential
+   DRAM writes).
+
+Join and Group by bucket by **low-order** key bits; Sort buckets by
+**high-order** bits so partitions hold disjoint key ranges (section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analytics.hashing import bucket_of_high_bits, bucket_of_low_bits
+from repro.analytics.tuples import TUPLE_B, Relation
+from repro.operators import costs
+from repro.operators.base import (
+    PHASE_DISTRIBUTE,
+    PHASE_HISTOGRAM,
+    OperatorVariant,
+    PhaseCost,
+)
+from repro.shuffle.engine import ShuffleEngine, ShuffleResult
+
+#: Partitioning key-bit schemes.
+SCHEME_LOW_BITS = "low"
+SCHEME_HIGH_BITS = "high"
+
+
+@dataclass
+class PartitionOutcome:
+    """Functional result + cost records of one partitioning phase."""
+
+    partitions: List[Relation]
+    phases: List[PhaseCost]
+    shuffle: ShuffleResult
+
+
+def destination_map(
+    relation: Relation,
+    variant: OperatorVariant,
+    scheme: str,
+    key_space_bits: int,
+) -> np.ndarray:
+    """Destination partition of every tuple.
+
+    The radix hash produces ``2**radix_bits`` buckets (16 bits on the
+    CPU, 6 on the NMP machines); buckets fold onto the
+    ``num_partitions`` memory partitions.
+    """
+    if scheme == SCHEME_LOW_BITS:
+        buckets = bucket_of_low_bits(relation.keys, variant.radix_bits)
+        return buckets % variant.num_partitions
+    if scheme == SCHEME_HIGH_BITS:
+        # Sort requires *order-preserving* range partitions: partition i
+        # holds keys strictly smaller than partition i+1's.  Folding a
+        # wider radix onto the partitions with a modulo would alias
+        # disjoint ranges, so the high-bit scheme maps key ranges to
+        # partitions directly (for power-of-two partition counts this is
+        # exactly "hash keys with high order bits").
+        p = variant.num_partitions
+        if key_space_bits + p.bit_length() > 63:
+            raise ValueError("key space too wide for range partitioning math")
+        scaled = (relation.keys.astype(np.int64) * p) >> np.int64(key_space_bits)
+        return np.minimum(scaled, p - 1)
+    raise ValueError(f"unknown partitioning scheme {scheme!r}")
+
+
+def histogram_cost(
+    n: int, variant: OperatorVariant, label: str = "histogram"
+) -> PhaseCost:
+    """Cost of the histogram-build step over ``n`` tuples.
+
+    The histogram table has ``2**radix_bits`` 8 B counters; with 16 bits
+    (CPU) that is 512 KB -- LLC-resident but beyond the L1 -- while the
+    NMP machines' 6-bit tables live in L1.  ``rand_region_b`` carries the
+    table size so the systems layer can classify those accesses.
+    """
+    num_buckets = 1 << variant.radix_bits
+    inst_per_tuple = costs.TUPLE_LOAD + costs.HASH_KEY + costs.HIST_UPDATE
+    instructions = n * inst_per_tuple + num_buckets * costs.PREFIX_STEP
+    # SIMD machines keep per-lane private histograms (merged in a
+    # negligible tail), so the whole counting loop vectorizes.
+    simd_ops = instructions if variant.simd else 0.0
+    return PhaseCost(
+        name=label,
+        category=PHASE_HISTOGRAM,
+        instructions=instructions,
+        simd_ops=simd_ops,
+        dep_ilp=costs.PARTITION_DEP_ILP,
+        mem_parallelism=4.0,
+        simd_vectorizable=variant.simd,
+        rand_reads=n,
+        rand_writes=n,
+        rand_access_b=8,
+        rand_region_b=num_buckets * 8,
+        seq_read_b=n * TUPLE_B,
+        notes="hash keys, count per destination, prefix-sum",
+    )
+
+
+def distribute_cost(
+    n: int, variant: OperatorVariant, label: str = "distribute"
+) -> PhaseCost:
+    """Cost of the data-distribution step over ``n`` tuples."""
+    if variant.permutable:
+        inst_per_tuple = costs.TUPLE_LOAD + costs.HASH_KEY + costs.PERM_STORE
+        instructions = n * inst_per_tuple
+        simd_ops = instructions if variant.simd else 0.0
+        return PhaseCost(
+            name=label,
+            category=PHASE_DISTRIBUTE,
+            instructions=instructions,
+            simd_ops=simd_ops,
+            dep_ilp=costs.PARTITION_DEP_ILP,
+            mem_parallelism=8.0,
+            simd_vectorizable=variant.simd,
+            seq_read_b=n * TUPLE_B,
+            shuffle_b=n * TUPLE_B,
+            object_b=TUPLE_B,
+            permutable_writes=True,
+            notes="stream tuples via object buffers; controller places them",
+        )
+    inst_per_tuple = (
+        costs.TUPLE_LOAD + costs.HASH_KEY + costs.ADDR_CALC + costs.TUPLE_STORE
+    )
+    instructions = n * inst_per_tuple
+    # Addressed code vectorizes only the load+hash slice (paper: Mondrian-
+    # noperm "cannot use SIMD instructions throughout the partition loop").
+    simd_ops = n * (costs.TUPLE_LOAD + costs.HASH_KEY) if variant.simd else 0.0
+    return PhaseCost(
+        name=label,
+        category=PHASE_DISTRIBUTE,
+        instructions=instructions,
+        simd_ops=simd_ops,
+        dep_ilp=costs.PARTITION_DEP_ILP,
+        # Addressed writes serialize through per-bucket cursor chains and
+        # the store queue; effectively one access in flight.
+        mem_parallelism=1.0,
+        simd_vectorizable=variant.simd,
+        rand_writes=n,
+        rand_access_b=TUPLE_B,
+        rand_region_b=1 << 29,
+        seq_read_b=n * TUPLE_B,
+        shuffle_b=n * TUPLE_B,
+        object_b=TUPLE_B,
+        permutable_writes=False,
+        notes="compute exact destination addresses via per-bucket cursors",
+    )
+
+
+def run_partitioning(
+    sources: List[Relation],
+    variant: OperatorVariant,
+    scheme: str,
+    key_space_bits: int,
+    label_prefix: str = "",
+    model_scale: float = 1.0,
+) -> PartitionOutcome:
+    """Execute the full partitioning phase functionally and cost it.
+
+    ``model_scale`` sizes the *cost model's* dataset relative to the
+    functionally executed one: the tuples really moved stay small (so
+    tests run fast), while the PhaseCost records describe a dataset
+    ``model_scale`` times larger -- the partitioning phase is strictly
+    per-tuple linear, so the extrapolation is exact.
+    """
+    if model_scale <= 0:
+        raise ValueError("model_scale must be positive")
+    dest_maps = [
+        destination_map(rel, variant, scheme, key_space_bits) for rel in sources
+    ]
+    engine = ShuffleEngine(
+        num_destinations=variant.num_partitions,
+        object_b=TUPLE_B,
+        permutable=variant.permutable,
+    )
+    shuffle = engine.run(sources, dest_maps)
+    n = sum(len(rel) for rel in sources)
+    n_model = int(round(n * model_scale))
+    phases = [
+        histogram_cost(n_model, variant, label=f"{label_prefix}histogram"),
+        distribute_cost(n_model, variant, label=f"{label_prefix}distribute"),
+    ]
+    return PartitionOutcome(
+        partitions=shuffle.destinations, phases=phases, shuffle=shuffle
+    )

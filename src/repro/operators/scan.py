@@ -1,0 +1,74 @@
+"""The Scan operator.
+
+The simplest operator: no partitioning phase; every input partition is
+scanned in parallel and each tuple's key is compared against the
+searched value (paper section 6).  Identical code for the hash- and
+sort-based variants (figure 6 shows NMP-rand == NMP-seq on Scan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analytics.tuples import TUPLE_B, Relation
+from repro.analytics.workload import ScanWorkload
+from repro.operators import costs
+from repro.operators.base import PHASE_PROBE, OperatorRun, OperatorVariant, PhaseCost
+
+
+@dataclass(frozen=True)
+class ScanOutput:
+    """Matches found by the scan."""
+
+    matches: int
+    payload_sum: int
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScanOutput):
+            return NotImplemented
+        return self.matches == other.matches and self.payload_sum == other.payload_sum
+
+
+def scan_probe_cost(n: int, variant: OperatorVariant) -> PhaseCost:
+    """Streaming compare of every tuple against the search key."""
+    instructions = n * costs.SCAN_CMP
+    # SIMD executes the whole compare loop wide: load + compare element ops.
+    simd_ops = instructions if variant.simd else 0.0
+    return PhaseCost(
+        name="scan",
+        category=PHASE_PROBE,
+        instructions=instructions,
+        simd_ops=simd_ops,
+        dep_ilp=costs.SCAN_DEP_ILP,
+        mem_parallelism=8.0,
+        simd_vectorizable=variant.simd,
+        seq_read_b=n * TUPLE_B,
+        notes="compare every key against the searched value",
+    )
+
+
+def run_scan(
+    workload: ScanWorkload, variant: OperatorVariant, model_scale: float = 1.0
+) -> OperatorRun:
+    """Functionally execute Scan and produce its cost records."""
+    if model_scale <= 0:
+        raise ValueError("model_scale must be positive")
+    key = np.uint64(workload.search_key)
+    matches = 0
+    payload_sum = 0
+    for part in workload.partitions:
+        hit = part.keys == key
+        matches += int(np.count_nonzero(hit))
+        payload_sum += int(part.payloads[hit].sum(dtype=np.uint64))
+    n = workload.total_tuples
+    model_n = int(round(n * model_scale))
+    return OperatorRun(
+        operator="scan",
+        variant=variant.label,
+        phases=[scan_probe_cost(model_n, variant)],
+        output=ScanOutput(matches=matches, payload_sum=payload_sum),
+        metadata={"search_key": workload.search_key, "tuples": n},
+    )

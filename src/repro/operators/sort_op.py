@@ -1,0 +1,117 @@
+"""The Sort operator.
+
+Partitioning hashes keys by their **high-order** bits (Table 2), so the
+resulting partitions hold strictly disjoint key ranges; sorting each
+partition locally then yields a globally sorted relation.  The probe
+phase sorts within each partition: quicksort on the CPU, mergesort on
+the NMP machines (section 6) -- seeded by the SIMD bitonic pass on
+Mondrian.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.analytics.tuples import TUPLE_B, Relation
+from repro.analytics.workload import SortWorkload
+from repro.operators import costs
+from repro.operators.base import PHASE_PROBE, OperatorRun, OperatorVariant, PhaseCost
+from repro.operators.partition import SCHEME_HIGH_BITS, run_partitioning
+from repro.operators.sort_algos import merge_passes_needed, mergesort, quicksort
+
+
+def quicksort_probe_cost(n: int, num_partitions: int) -> PhaseCost:
+    """In-place quicksort of each partition (CPU probe).
+
+    Quicksort's partition passes are mostly cache-resident once
+    subproblems fit; we charge two full streaming passes of DRAM traffic
+    plus the n log n instruction cost.
+    """
+    per_part = max(2, n // num_partitions)
+    log_n = max(1.0, math.log2(per_part))
+    return PhaseCost(
+        name="quicksort",
+        category=PHASE_PROBE,
+        instructions=n * costs.QUICKSORT_STEP * log_n,
+        dep_ilp=costs.QUICKSORT_DEP_ILP,
+        mem_parallelism=4.0,
+        seq_read_b=n * TUPLE_B * 2,
+        seq_write_b=n * TUPLE_B * 2,
+        notes=f"local quicksort, ~log2({per_part}) = {log_n:.1f} levels",
+    )
+
+
+def mergesort_probe_cost(
+    n: int, num_partitions: int, variant: OperatorVariant
+) -> PhaseCost:
+    """Multi-pass mergesort of each partition (NMP / Mondrian probe)."""
+    initial_run = costs.BITONIC_RUN_TUPLES if variant.simd else 1
+    way = costs.MERGE_WAY_SIMD if variant.simd else costs.MERGE_WAY_SCALAR
+    per_part = max(1, n // num_partitions)
+    passes = merge_passes_needed(per_part, initial_run, way)
+    instructions = n * costs.MERGE_STEP * passes
+    if variant.simd:
+        k = costs.BITONIC_RUN_TUPLES.bit_length() - 1
+        instructions += n * costs.BITONIC_STEP * (k * (k + 1) // 2)
+    return PhaseCost(
+        name="mergesort",
+        category=PHASE_PROBE,
+        instructions=instructions,
+        simd_ops=instructions if variant.simd else 0.0,
+        dep_ilp=costs.MERGE_DEP_ILP,
+        mem_parallelism=8.0,
+        simd_vectorizable=variant.simd,
+        seq_read_b=n * TUPLE_B * (passes + (1 if variant.simd else 0)),
+        seq_write_b=n * TUPLE_B * (passes + (1 if variant.simd else 0)),
+        notes=f"{passes} merge passes from runs of {initial_run}",
+    )
+
+
+def run_sort(
+    workload: SortWorkload, variant: OperatorVariant, model_scale: float = 1.0
+) -> OperatorRun:
+    """Execute Sort functionally under the given variant and cost it."""
+    partitioned = run_partitioning(
+        workload.partitions,
+        variant,
+        SCHEME_HIGH_BITS,
+        workload.key_space_bits,
+        model_scale=model_scale,
+    )
+    sorted_parts: List[Relation] = []
+    for part in partitioned.partitions:
+        if len(part) == 0:
+            sorted_parts.append(part)
+            continue
+        if variant.local_sort == "quicksort":
+            data, _ = quicksort(part.data)
+        else:
+            data, _ = mergesort(part.data, bitonic_initial=variant.simd)
+        sorted_parts.append(Relation(data, part.name))
+
+    # Range partitioning makes concatenation globally sorted -- but only
+    # when radix buckets do not alias distinct key ranges onto one
+    # partition (radix_bits must not exceed log2(num_partitions) for the
+    # high-bit scheme).  The workload keys are uniform, so each partition
+    # holds one contiguous key range.
+    output = sorted_parts[0]
+    for part in sorted_parts[1:]:
+        output = output.concat(part, "sorted")
+
+    n = workload.total_tuples
+    model_n = int(round(n * model_scale))
+    if variant.local_sort == "quicksort":
+        probe = quicksort_probe_cost(model_n, variant.num_partitions)
+    else:
+        probe = mergesort_probe_cost(model_n, variant.num_partitions, variant)
+
+    return OperatorRun(
+        operator="sort",
+        variant=variant.label,
+        phases=partitioned.phases + [probe],
+        output=output,
+        metadata={"tuples": n},
+    )

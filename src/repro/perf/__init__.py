@@ -1,0 +1,26 @@
+"""Performance pipeline: PhaseCost -> per-unit WorkProfile -> core model
+-> phase runtime, with network and DRAM device-side caps applied, per the
+paper's methodology of combining measured IPC with functional
+instruction counts (section 6).
+"""
+
+from repro.perf.memenv import derive_mem_environment
+from repro.perf.model import PhaseEvaluator, PhasePerf
+from repro.perf.result import (
+    SystemResult,
+    efficiency_improvement,
+    partition_speedup,
+    probe_speedup,
+    speedup,
+)
+
+__all__ = [
+    "PhaseEvaluator",
+    "PhasePerf",
+    "SystemResult",
+    "derive_mem_environment",
+    "efficiency_improvement",
+    "partition_speedup",
+    "probe_speedup",
+    "speedup",
+]

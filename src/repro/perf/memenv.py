@@ -1,0 +1,145 @@
+"""Derive the per-unit memory environment a phase sees on a machine.
+
+The environment bundles what the core model needs: average random-access
+latency, the device-side sustainable bandwidths for the phase's access
+patterns, and the extra latency of crossing the network.
+
+Latency composition:
+
+- NMP/Mondrian units access their local vault: row-miss DRAM time plus a
+  small vault-controller overhead.
+- CPU cores reach memory through the LLC, the mesh to the link tile, one
+  SerDes crossing, and the vault; loaded latency gets a queueing uplift
+  (16 cores share 4 links), calibrated so the CPU baseline's measured
+  per-core scan bandwidth lands near the paper's 4.3 GB/s.
+- Phases whose random-access region fits in a cache level (the CPU's
+  16-bit histogram fits the LLC; the NMP machines' 6-bit one fits L1)
+  see that level's latency instead and produce no DRAM traffic.
+"""
+
+from __future__ import annotations
+
+from repro.config.system import SystemConfig
+from repro.cores.profile import MemEnvironment
+from repro.dram.analytic import RandomAccesses, estimate_pattern
+from repro.interconnect.topology import Topology
+from repro.operators.base import PhaseCost
+
+#: Vault-controller / on-logic-layer overhead added to raw DRAM timing.
+VAULT_CTRL_OVERHEAD_NS = 4.0
+#: L1 and LLC load-to-use latencies (Table 3: 2-cycle L1, 4-cycle LLC
+#: bank at the respective frequencies, plus interconnect slack).
+L1_LATENCY_NS = 1.5
+LLC_LATENCY_NS = 8.0
+#: Queueing uplift on the CPU's loaded remote-access path (16 cores
+#: share four SerDes links; calibrated against the paper's measured
+#: per-core CPU bandwidths in section 7.1).
+CPU_QUEUE_FACTOR = 2.0
+
+
+def _local_dram_latency_ns(config: SystemConfig) -> float:
+    return config.timing.row_miss_latency_ns + VAULT_CTRL_OVERHEAD_NS
+
+
+def _cpu_remote_latency_ns(config: SystemConfig, topology: Topology) -> float:
+    """CPU load miss: mesh to hub, SerDes crossing, vault access."""
+    route = topology.route(0, 0)  # star: every access crosses once; use
+    # the explicit single-crossing accessor when available.
+    if hasattr(topology, "cpu_access_route"):
+        route = topology.cpu_access_route(0)
+    network_ns = topology.message_latency_ns(route, config.core.cache_block_b)
+    raw = _local_dram_latency_ns(config) + network_ns + LLC_LATENCY_NS
+    return raw * CPU_QUEUE_FACTOR
+
+
+def rand_region_cache_level(config: SystemConfig, region_b: int) -> str:
+    """Which level captures a phase's random-access working set.
+
+    The LLC is shared: with every core walking its own region, a region
+    only stays resident when all the per-core regions fit together.
+    """
+    if region_b <= config.core.l1d_b:
+        return "l1"
+    if config.has_cache_hierarchy and config.llc_b:
+        llc_share = config.llc_b / config.num_cores
+        if region_b <= llc_share:
+            return "llc"
+    return "memory"
+
+
+def derive_mem_environment(
+    config: SystemConfig, topology: Topology, phase: PhaseCost
+) -> MemEnvironment:
+    """The memory environment one compute unit sees during ``phase``."""
+    geo = config.geometry
+    vaults_per_unit = max(1.0, geo.total_vaults / config.num_cores)
+
+    level = rand_region_cache_level(config, phase.rand_region_b)
+    if level == "l1":
+        rand_latency = L1_LATENCY_NS
+        rand_bw = 64e9  # L1-resident: effectively unconstrained
+    elif level == "llc":
+        rand_latency = LLC_LATENCY_NS
+        rand_bw = 32e9
+    elif config.is_near_memory:
+        rand_latency = _local_dram_latency_ns(config)
+        access_b = max(phase.rand_access_b, geo.min_access_b)
+        pattern = RandomAccesses(
+            count=1024, access_b=access_b, region_b=phase.rand_region_b
+        )
+        est = estimate_pattern(pattern, geo, config.timing)
+        rand_bw = est.sustainable_bw_bps * vaults_per_unit
+    else:
+        rand_latency = _cpu_remote_latency_ns(config, topology)
+        # CPU random accesses move cache blocks; device-side rate per core
+        # is its share of the vaults' miss throughput, further capped by
+        # its share of the star's SerDes links.
+        pattern = RandomAccesses(
+            count=1024, access_b=config.core.cache_block_b, region_b=phase.rand_region_b
+        )
+        est = estimate_pattern(pattern, geo, config.timing)
+        device_share = est.sustainable_bw_bps * geo.total_vaults / config.num_cores
+        link_share = (
+            topology.link.bw_bps_per_dir * geo.num_stacks / config.num_cores
+        )
+        rand_bw = min(device_share, link_share)
+
+    if config.is_near_memory:
+        seq_bw = geo.vault_peak_bw_bps * vaults_per_unit
+        if not config.core.has_stream_buffers:
+            # The NMP baseline streams through its L1 with the next-line
+            # prefetcher; depth bounds the in-flight blocks.
+            prefetch_blocks = 1 + config.core.next_line_prefetch_depth
+            prefetch_bw = (
+                prefetch_blocks
+                * config.core.cache_block_b
+                / (_local_dram_latency_ns(config) * 1e-9)
+            )
+            seq_bw = min(seq_bw, prefetch_bw)
+        remote_extra = topology.message_latency_ns(
+            topology.route(0, geo.vaults_per_stack), phase.object_b
+        )
+    else:
+        # The star's links cap streaming; each core gets its share.  The
+        # next-line prefetcher's depth bounds streaming too, at the
+        # *unloaded* remote latency (prefetches are independent, so the
+        # queueing uplift of dependent accesses does not apply).
+        link_bw = topology.link.bw_bps_per_dir * geo.num_stacks
+        unloaded_ns = _cpu_remote_latency_ns(config, topology) / CPU_QUEUE_FACTOR
+        prefetch_blocks = 1 + config.core.next_line_prefetch_depth
+        prefetch_bw = (
+            prefetch_blocks * config.core.cache_block_b / (unloaded_ns * 1e-9)
+        )
+        seq_bw = min(
+            geo.vault_peak_bw_bps * vaults_per_unit,
+            link_bw / config.num_cores,
+            prefetch_bw,
+        )
+        remote_extra = 0.0  # CPU latency above is already end-to-end
+
+    return MemEnvironment(
+        rand_latency_ns=rand_latency,
+        seq_bw_bps=seq_bw,
+        rand_bw_bps=max(rand_bw, 1e6),
+        remote_extra_latency_ns=remote_extra,
+    )

@@ -1,0 +1,20 @@
+"""The partitioning-phase data shuffle (paper figure 2, sections 4.1.2, 5.3-5.4).
+
+Multiple source partitions concurrently push tuples toward destination
+partitions; the memory network interleaves their messages, so writes
+arrive at each destination in an order no single source controls.  The
+shuffle engine models that interleaving functionally (real tuples move),
+drives the shuffle_begin/shuffle_end barrier protocol, and produces both
+the destination relations and the per-destination arrival traces that the
+event-accurate DRAM model can replay.
+"""
+
+from repro.shuffle.engine import ShuffleEngine, ShuffleResult
+from repro.shuffle.interleave import round_robin_interleave, random_interleave
+
+__all__ = [
+    "ShuffleEngine",
+    "ShuffleResult",
+    "random_interleave",
+    "round_robin_interleave",
+]

@@ -1,0 +1,191 @@
+"""Functional shuffle across memory partitions.
+
+Given per-source relations and each tuple's destination partition, the
+engine moves real tuples: it computes per-(source, destination) streams,
+interleaves them per the network model, and materializes each
+destination buffer either
+
+- **addressed**: every tuple lands at the exact offset the histogram
+  prefix sums assigned (source order preserved inside each source's
+  slice), or
+- **permutable**: tuples land at the destination's sequential tail in
+  arrival order, via a :class:`repro.memctrl.permutable.PermutableWriteEngine`.
+
+Both produce the same *multiset* per destination -- the permutability
+guarantee -- but different orders and radically different DRAM write
+patterns.  The engine also emits per-destination arrival traces
+(vault-relative addresses) so the event-accurate DRAM model can replay
+the traffic, and drives the :class:`ShuffleBarrier` handshake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analytics.histogram import build_histogram, source_write_offsets
+from repro.analytics.tuples import TUPLE_B, TUPLE_DTYPE, Relation
+from repro.memctrl.permutable import (
+    PermutableRegionConfig,
+    PermutableWriteEngine,
+    ShuffleBarrier,
+)
+from repro.shuffle.interleave import round_robin_interleave
+
+
+@dataclass
+class ShuffleResult:
+    """Everything the shuffle produced."""
+
+    destinations: List[Relation]
+    #: per destination: vault-relative byte address of each write, in
+    #: arrival order (replayable on the event DRAM model).
+    write_traces: List[np.ndarray]
+    #: per destination: number of tuples received from each source.
+    inbound_histograms: List[np.ndarray]
+    barrier: ShuffleBarrier
+    permutable: bool
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(len(d) for d in self.destinations)
+
+
+class ShuffleEngine:
+    """Move tuples between partitions with a chosen write discipline."""
+
+    def __init__(
+        self,
+        num_destinations: int,
+        object_b: int = TUPLE_B,
+        permutable: bool = False,
+        interleave: Callable[[Sequence[int]], List[Tuple[int, int]]] = round_robin_interleave,
+    ) -> None:
+        if num_destinations < 1:
+            raise ValueError("need at least one destination")
+        if object_b <= 0:
+            raise ValueError("object size must be positive")
+        self._num_dest = num_destinations
+        self._object_b = object_b
+        self._permutable = permutable
+        self._interleave = interleave
+
+    @property
+    def permutable(self) -> bool:
+        return self._permutable
+
+    def run(
+        self,
+        sources: List[Relation],
+        dest_of: List[np.ndarray],
+        overprovision: float = 1.0,
+    ) -> ShuffleResult:
+        """Shuffle ``sources[s]`` tuples to partitions ``dest_of[s]``.
+
+        ``overprovision`` scales the permutable destination-buffer size
+        relative to the exact inbound total (the CPU only has a
+        "best-effort overprovisioned estimation" before the histograms
+        are exchanged; 1.0 models the exact post-histogram size).
+        """
+        if len(sources) != len(dest_of):
+            raise ValueError("sources and destination maps must align")
+        if overprovision < 1.0:
+            raise ValueError("overprovision must be >= 1.0")
+        num_src = len(sources)
+
+        # Histogram-build step: per source, tuples per destination.
+        histograms = []
+        for rel, dests in zip(sources, dest_of):
+            if len(rel) != len(dests):
+                raise ValueError("destination map length must match relation")
+            histograms.append(build_histogram(dests, self._num_dest))
+
+        # shuffle_begin: exchange totals, seal the barrier.
+        barrier = ShuffleBarrier(self._num_dest if self._num_dest >= num_src else num_src)
+        for src, hist in enumerate(histograms):
+            for dest in range(self._num_dest):
+                barrier.announce(src, dest, int(hist[dest]) * TUPLE_B)
+        barrier.seal()
+
+        # Build per-(source, dest) tuple streams, preserving source order.
+        streams: List[List[np.ndarray]] = []
+        for rel, dests in zip(sources, dest_of):
+            order = np.argsort(dests, kind="stable")
+            sorted_data = rel.data[order]
+            sorted_dests = np.asarray(dests)[order]
+            boundaries = np.searchsorted(sorted_dests, np.arange(self._num_dest + 1))
+            streams.append(
+                [
+                    sorted_data[boundaries[d] : boundaries[d + 1]]
+                    for d in range(self._num_dest)
+                ]
+            )
+
+        per_src_offsets = source_write_offsets(histograms)
+        destinations: List[Relation] = []
+        traces: List[np.ndarray] = []
+        inbound: List[np.ndarray] = []
+        for dest in range(self._num_dest):
+            rel, trace, hist = self._materialize_destination(
+                dest,
+                [streams[s][dest] for s in range(num_src)],
+                [int(per_src_offsets[s][dest]) for s in range(num_src)],
+                barrier,
+                overprovision,
+            )
+            destinations.append(rel)
+            traces.append(trace)
+            inbound.append(hist)
+
+        if not barrier.all_complete():
+            raise RuntimeError("shuffle barrier incomplete after all deliveries")
+        return ShuffleResult(
+            destinations=destinations,
+            write_traces=traces,
+            inbound_histograms=inbound,
+            barrier=barrier,
+            permutable=self._permutable,
+        )
+
+    def _materialize_destination(
+        self,
+        dest: int,
+        inbound_streams: List[np.ndarray],
+        src_offsets: List[int],
+        barrier: ShuffleBarrier,
+        overprovision: float,
+    ) -> Tuple[Relation, np.ndarray, np.ndarray]:
+        lengths = [len(s) for s in inbound_streams]
+        total = sum(lengths)
+        arrival = self._interleave(lengths)
+        hist = np.array(lengths, dtype=np.int64)
+
+        if self._permutable:
+            capacity = max(1, int(np.ceil(total * overprovision)))
+            engine = PermutableWriteEngine(
+                PermutableRegionConfig(
+                    base=0, size_b=capacity * self._object_b, object_b=self._object_b
+                )
+            )
+            trace = np.empty(total, dtype=np.int64)
+            buffer = np.empty(total, dtype=TUPLE_DTYPE)
+            for i, (src, idx) in enumerate(arrival):
+                addr = engine.write(None, marked_addr=src_offsets[src] * self._object_b)
+                trace[i] = addr
+                buffer[i] = inbound_streams[src][idx]
+                barrier.deliver(dest, TUPLE_B)
+            relation = Relation(buffer, f"shuffle_dest/{dest}")
+        else:
+            trace = np.empty(total, dtype=np.int64)
+            buffer = np.empty(total, dtype=TUPLE_DTYPE)
+            cursors = list(src_offsets)
+            for i, (src, idx) in enumerate(arrival):
+                slot = cursors[src]
+                cursors[src] += 1
+                trace[i] = slot * self._object_b
+                buffer[slot] = inbound_streams[src][idx]
+                barrier.deliver(dest, TUPLE_B)
+            relation = Relation(buffer, f"shuffle_dest/{dest}")
+        return relation, trace, hist

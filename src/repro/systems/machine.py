@@ -1,0 +1,141 @@
+"""A machine = system preset + topology + evaluators + energy model.
+
+The machine owns the mapping from its hardware configuration to the
+operator variant it runs (paper section 6):
+
+- the CPU partitions with 16 low-order radix bits and probes with
+  hash-based algorithms plus quicksort;
+- the NMP baselines partition with 6 bits (one bucket per vault) and
+  probe with either the hash (NMP-rand) or sort (NMP-seq) algorithms;
+- Mondrian partitions with permutable stores and probes sort-based with
+  the wide SIMD unit.
+
+``scale_factor`` linearly extrapolates the measured phase costs to
+paper-sized datasets (all cost quantities are per-tuple linear within a
+fixed pass structure, so scaling the workload scales the costs; the
+log-factor from sorting is captured at functional size and noted in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.config.system import SystemConfig, get_preset
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.interconnect.topology import Topology, build_topology
+from repro.operators import OPERATOR_RUNNERS, OperatorRun, OperatorVariant
+from repro.perf.model import PhaseEvaluator
+from repro.perf.result import SystemResult
+
+#: Radix bits per machine kind (paper section 6).
+CPU_RADIX_BITS = 16
+NMP_RADIX_BITS = 6
+
+
+class Machine:
+    """One evaluated system configuration, ready to run operators."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self._config = config
+        self._topology = build_topology(
+            config.topology, config.geometry, config.interconnect, config.energy
+        )
+        self._evaluator = PhaseEvaluator(config, self._topology)
+        self._energy_model = EnergyModel(config, self._topology.num_serdes_links)
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def name(self) -> str:
+        return self._config.name
+
+    def variant(self, num_partitions: int) -> OperatorVariant:
+        """The algorithmic variant this machine runs (section 6)."""
+        cfg = self._config
+        return OperatorVariant(
+            radix_bits=CPU_RADIX_BITS if cfg.kind == "cpu" else NMP_RADIX_BITS,
+            probe_algorithm=cfg.probe_algorithm,
+            permutable=cfg.uses_permutability,
+            simd=cfg.kind == "mondrian",
+            num_partitions=num_partitions,
+            local_sort="quicksort" if cfg.kind == "cpu" else "mergesort",
+        )
+
+    def run_operator(
+        self,
+        operator: str,
+        workload: Any,
+        scale_factor: float = 1.0,
+    ) -> SystemResult:
+        """Functionally execute ``operator`` and evaluate it on this machine."""
+        try:
+            runner = OPERATOR_RUNNERS[operator]
+        except KeyError:
+            raise KeyError(
+                f"unknown operator {operator!r}; choose from {sorted(OPERATOR_RUNNERS)}"
+            ) from None
+        if scale_factor <= 0:
+            raise ValueError("scale factor must be positive")
+        num_partitions = _workload_partitions(workload)
+        run: OperatorRun = runner(
+            workload, self.variant(num_partitions), model_scale=scale_factor
+        )
+        return self.evaluate_run(run)
+
+    def evaluate_run(self, run: OperatorRun) -> SystemResult:
+        """Cost an already-executed operator run on this machine."""
+        phase_perfs = []
+        energy = EnergyBreakdown()
+        for phase in run.phases:
+            perf = self._evaluator.evaluate(phase)
+            phase_perfs.append(perf)
+            energy.accumulate(
+                self._energy_model.phase_energy(
+                    perf.events, perf.time_s, perf.core_utilization
+                )
+            )
+        return SystemResult(
+            system=self.name,
+            operator=run.operator,
+            variant=run.variant,
+            phase_perfs=phase_perfs,
+            energy=energy,
+            output=run.output,
+            metadata=dict(run.metadata),
+        )
+
+
+def _workload_partitions(workload: Any) -> int:
+    """Number of memory partitions the workload was generated with."""
+    if hasattr(workload, "partitions"):
+        return len(workload.partitions)
+    if hasattr(workload, "r_partitions"):
+        return len(workload.r_partitions)
+    raise TypeError(f"cannot infer partition count from {type(workload).__name__}")
+
+
+def build_system(preset: str) -> Machine:
+    """Construct a machine from a named preset (see ``preset_names()``)."""
+    return Machine(get_preset(preset))
+
+
+def run_all_systems(
+    operator: str,
+    workload: Any,
+    presets: Optional[list] = None,
+    scale_factor: float = 1.0,
+) -> Dict[str, SystemResult]:
+    """Run one operator on several systems (default: the paper's four
+    headline configurations)."""
+    presets = presets or ["cpu", "nmp", "nmp-perm", "mondrian"]
+    return {
+        name: build_system(name).run_operator(operator, workload, scale_factor)
+        for name in presets
+    }

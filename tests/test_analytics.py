@@ -1,0 +1,199 @@
+"""Tests for relations, hashing, histograms and workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analytics import (
+    KEY_B,
+    PAYLOAD_B,
+    Relation,
+    TUPLE_B,
+    bucket_of_high_bits,
+    bucket_of_low_bits,
+    build_histogram,
+    hash_table_slot,
+    make_groupby_workload,
+    make_join_workload,
+    make_scan_workload,
+    make_sort_workload,
+    multiplicative_hash,
+    prefix_sum,
+)
+from repro.analytics.histogram import combine_histograms, source_write_offsets
+
+
+class TestRelation:
+    def test_tuple_layout(self):
+        assert KEY_B == 8 and PAYLOAD_B == 8 and TUPLE_B == 16
+
+    def test_from_arrays_and_views(self):
+        rel = Relation.from_arrays([1, 2, 3], [10, 20, 30], "r")
+        assert len(rel) == 3
+        assert rel.size_b == 48
+        assert list(rel.keys) == [1, 2, 3]
+        assert list(rel.payloads) == [10, 20, 30]
+
+    def test_from_pairs(self):
+        rel = Relation.from_pairs([(1, 10), (2, 20)])
+        assert list(rel.keys) == [1, 2]
+
+    def test_empty(self):
+        rel = Relation.empty()
+        assert len(rel) == 0
+        assert rel.is_sorted()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Relation.from_arrays([1, 2], [10])
+
+    def test_sorted_by_key(self):
+        rel = Relation.from_arrays([3, 1, 2], [30, 10, 20])
+        s = rel.sorted_by_key()
+        assert list(s.keys) == [1, 2, 3]
+        assert list(s.payloads) == [10, 20, 30]
+        assert s.is_sorted()
+        assert not rel.is_sorted()
+
+    def test_slice_take_concat(self):
+        rel = Relation.from_arrays([1, 2, 3, 4], [1, 2, 3, 4])
+        assert list(rel.slice(1, 3).keys) == [2, 3]
+        assert list(rel.take(np.array([0, 3])).keys) == [1, 4]
+        both = rel.slice(0, 2).concat(rel.slice(2, 4))
+        assert both == rel
+
+    def test_multiset_equality(self):
+        a = Relation.from_arrays([1, 2, 3], [1, 2, 3])
+        b = Relation.from_arrays([3, 1, 2], [3, 1, 2])
+        c = Relation.from_arrays([3, 1, 2], [3, 1, 99])
+        assert a.multiset_equal(b)
+        assert not a.multiset_equal(c)
+        assert not a == b  # order-sensitive equality differs
+
+    def test_dtype_enforced(self):
+        with pytest.raises(TypeError):
+            Relation(np.zeros(4, dtype=np.float64))
+
+
+class TestHashing:
+    def test_low_bits(self):
+        keys = np.array([0b1011, 0b0100], dtype=np.uint64)
+        assert list(bucket_of_low_bits(keys, 2)) == [0b11, 0b00]
+
+    def test_high_bits(self):
+        keys = np.array([0, 255], dtype=np.uint64)
+        buckets = bucket_of_high_bits(keys, 2, key_space_bits=8)
+        assert list(buckets) == [0, 3]
+
+    def test_high_bits_order_preserving(self):
+        keys = np.sort(np.random.default_rng(0).integers(0, 1 << 48, 100, dtype=np.uint64))
+        buckets = bucket_of_high_bits(keys, 4, 48)
+        assert all(buckets[i] <= buckets[i + 1] for i in range(99))
+
+    def test_multiplicative_hash_range(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        h = multiplicative_hash(keys, 6)
+        assert h.min() >= 0 and h.max() < 64
+
+    def test_multiplicative_hash_spreads(self):
+        # Sequential keys should spread across buckets, unlike low bits.
+        keys = np.arange(0, 64000, 64, dtype=np.uint64)
+        h = multiplicative_hash(keys, 6)
+        assert len(np.unique(h)) > 32
+
+    def test_hash_table_slot_pow2_only(self):
+        keys = np.arange(10, dtype=np.uint64)
+        slots = hash_table_slot(keys, 16)
+        assert slots.max() < 16
+        with pytest.raises(ValueError):
+            hash_table_slot(keys, 12)
+
+    def test_bit_bounds(self):
+        keys = np.array([1], dtype=np.uint64)
+        with pytest.raises(ValueError):
+            bucket_of_low_bits(keys, 0)
+        with pytest.raises(ValueError):
+            bucket_of_high_bits(keys, 10, key_space_bits=8)
+
+    @given(st.integers(0, (1 << 48) - 1), st.integers(1, 16))
+    @settings(max_examples=100)
+    def test_low_bits_deterministic(self, key, bits):
+        keys = np.array([key], dtype=np.uint64)
+        a = bucket_of_low_bits(keys, bits)[0]
+        b = bucket_of_low_bits(keys, bits)[0]
+        assert a == b == key % (1 << bits)
+
+
+class TestHistogram:
+    def test_build(self):
+        hist = build_histogram(np.array([0, 1, 1, 3]), 4)
+        assert list(hist) == [1, 2, 0, 1]
+
+    def test_prefix_sum_exclusive(self):
+        assert list(prefix_sum(np.array([1, 2, 0, 1]))) == [0, 1, 3, 3]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            build_histogram(np.array([5]), 4)
+
+    def test_combine(self):
+        total = combine_histograms([np.array([1, 0]), np.array([2, 3])])
+        assert list(total) == [3, 3]
+        with pytest.raises(ValueError):
+            combine_histograms([])
+
+    def test_source_write_offsets(self):
+        offsets = source_write_offsets([np.array([2, 1]), np.array([1, 1])])
+        assert list(offsets[0]) == [0, 0]
+        assert list(offsets[1]) == [2, 1]
+
+
+class TestWorkloads:
+    def test_scan_has_findable_key(self):
+        w = make_scan_workload(1000, num_partitions=4, seed=1)
+        found = sum(
+            int(np.count_nonzero(p.keys == np.uint64(w.search_key)))
+            for p in w.partitions
+        )
+        assert found >= 1
+        assert w.total_tuples == 1000
+
+    def test_partitions_cover_all_tuples(self):
+        w = make_sort_workload(1003, num_partitions=7, seed=2)
+        assert sum(len(p) for p in w.partitions) == 1003
+
+    def test_join_foreign_key_property(self):
+        w = make_join_workload(500, 2000, num_partitions=4, seed=3)
+        r_keys = set()
+        for p in w.r_partitions:
+            r_keys.update(int(k) for k in p.keys)
+        assert len(r_keys) == 500  # R keys unique
+        for p in w.s_partitions:
+            assert all(int(k) in r_keys for k in p.keys)
+
+    def test_groupby_average_group_size(self):
+        w = make_groupby_workload(8000, num_partitions=4, avg_group_size=4.0, seed=4)
+        keys = np.concatenate([p.keys for p in w.partitions])
+        avg = len(keys) / len(np.unique(keys))
+        assert 3.0 < avg < 5.5
+
+    def test_deterministic_by_seed(self):
+        a = make_sort_workload(100, 2, seed=9)
+        b = make_sort_workload(100, 2, seed=9)
+        assert a.partitions[0] == b.partitions[0]
+        c = make_sort_workload(100, 2, seed=10)
+        assert not a.partitions[0] == c.partitions[0]
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            make_scan_workload(0)
+        with pytest.raises(ValueError):
+            make_join_workload(0, 10)
+        with pytest.raises(ValueError):
+            make_groupby_workload(100, avg_group_size=0.5)
+
+    def test_keys_bounded_by_key_space(self):
+        w = make_sort_workload(1000, 4, seed=5, key_space_bits=20)
+        for p in w.partitions:
+            if len(p):
+                assert int(p.keys.max()) < (1 << 20)

@@ -1,0 +1,176 @@
+"""Tests for the cache substrate: set-associative cache, MSHRs,
+next-line prefetcher and the two-level hierarchy."""
+
+import pytest
+
+from repro.cache import (
+    AccessResult,
+    Cache,
+    CacheHierarchy,
+    MshrFile,
+    NextLinePrefetcher,
+)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        c = Cache(size_b=1024, assoc=2, block_b=64)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)  # same block
+        assert not c.access(64)  # next block
+
+    def test_lru_eviction(self):
+        c = Cache(size_b=2 * 64, assoc=2, block_b=64)  # one set, two ways
+        c.access(0)
+        c.access(64)
+        c.access(0)  # touch 0, making 64 the LRU
+        c.access(128)  # evicts 64
+        assert c.access(0)
+        assert not c.access(64)
+        assert c.stats.evictions >= 1
+
+    def test_dirty_writeback(self):
+        c = Cache(size_b=2 * 64, assoc=2, block_b=64)
+        c.access(0, is_write=True)
+        c.access(64)
+        c.access(128)  # evicts dirty block 0
+        assert c.stats.writebacks == 1
+
+    def test_set_indexing(self):
+        c = Cache(size_b=4096, assoc=1, block_b=64)
+        # Direct-mapped: addresses one stride apart conflict.
+        stride = c.num_sets * 64
+        c.access(0)
+        c.access(stride)
+        assert not c.access(0)  # evicted by the conflicting block
+
+    def test_prefetch_fill(self):
+        c = Cache(size_b=1024, assoc=2, block_b=64)
+        assert c.fill_prefetch(0)
+        assert not c.fill_prefetch(0)  # already present
+        assert c.access(0)
+        assert c.stats.prefetch_hits == 1
+
+    def test_probe_nondestructive(self):
+        c = Cache(size_b=1024, assoc=2, block_b=64)
+        assert not c.probe(0)
+        c.access(0)
+        before = c.stats.hits
+        assert c.probe(0)
+        assert c.stats.hits == before
+
+    def test_stats_rates(self):
+        c = Cache(size_b=1024, assoc=2, block_b=64)
+        assert c.stats.hit_rate is None
+        c.access(0)
+        c.access(0)
+        assert c.stats.hit_rate == pytest.approx(0.5)
+        assert c.stats.miss_rate == pytest.approx(0.5)
+
+    def test_invalidate_all(self):
+        c = Cache(size_b=1024, assoc=2, block_b=64)
+        c.access(0)
+        c.invalidate_all()
+        assert not c.probe(0)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(size_b=0, assoc=1)
+        with pytest.raises(ValueError):
+            Cache(size_b=100, assoc=3, block_b=64)
+
+
+class TestMshrFile:
+    def test_allocate_and_merge(self):
+        m = MshrFile(num_entries=2)
+        assert m.allocate(0)
+        assert m.allocate(32)  # same block -> merge
+        assert m.allocations == 1
+        assert m.merges == 1
+        assert m.outstanding == 1
+
+    def test_full_stalls(self):
+        m = MshrFile(num_entries=1)
+        assert m.allocate(0)
+        assert not m.allocate(64)
+        assert m.stalls == 1
+
+    def test_complete_frees_entry(self):
+        m = MshrFile(num_entries=1)
+        m.allocate(0)
+        assert m.complete(0) == 1
+        assert m.allocate(64)
+
+    def test_complete_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MshrFile(4).complete(0)
+
+    def test_outstanding_blocks(self):
+        m = MshrFile(4)
+        m.allocate(0)
+        m.allocate(128)
+        assert m.outstanding_blocks() == {0, 2}
+
+
+class TestNextLinePrefetcher:
+    def test_generates_next_lines(self):
+        pf = NextLinePrefetcher(depth=3, block_b=64)
+        assert pf.prefetch_addrs(0) == [64, 128, 192]
+        assert pf.issued == 3
+
+    def test_limit_respected(self):
+        pf = NextLinePrefetcher(depth=3, block_b=64)
+        assert pf.prefetch_addrs(0, limit=129) == [64, 128]
+
+    def test_zero_depth(self):
+        pf = NextLinePrefetcher(depth=0)
+        assert pf.prefetch_addrs(0) == []
+
+
+class TestCacheHierarchy:
+    def make(self, prefetch=0):
+        return CacheHierarchy(
+            l1_size_b=1024, llc_size_b=16 * 1024, prefetch_depth=prefetch
+        )
+
+    def test_levels(self):
+        h = self.make()
+        assert h.access(0) is AccessResult.MEMORY
+        assert h.access(0) is AccessResult.L1
+        # Evict from tiny L1 with conflicting traffic, then find in LLC.
+        for i in range(1, 64):
+            h.access(i * 64)
+        assert h.access(0) in (AccessResult.LLC, AccessResult.L1)
+
+    def test_llc_access_counting(self):
+        h = self.make()
+        h.access(0)  # miss both -> 1 LLC access
+        assert h.stats.llc_accesses == 1
+        h.access(0)  # L1 hit -> no LLC access
+        assert h.stats.llc_accesses == 1
+
+    def test_prefetcher_installs_lines(self):
+        h = self.make(prefetch=3)
+        h.access(0)
+        assert h.access(64) is AccessResult.L1  # prefetched
+
+    def test_sequential_scan_benefits_from_prefetch(self):
+        no_pf = self.make(prefetch=0)
+        with_pf = self.make(prefetch=3)
+        for i in range(256):
+            no_pf.access(i * 64)
+            with_pf.access(i * 64)
+        assert with_pf.stats.memory_accesses < no_pf.stats.memory_accesses
+
+    def test_miss_rate_to_memory(self):
+        h = self.make()
+        assert h.miss_rate_to_memory() is None
+        h.access(0)
+        h.access(0)
+        assert h.miss_rate_to_memory() == pytest.approx(0.5)
+
+    def test_no_llc_configuration(self):
+        h = CacheHierarchy(l1_size_b=1024, llc_size_b=0, prefetch_depth=0)
+        assert h.access(0) is AccessResult.MEMORY
+        assert h.access(0) is AccessResult.L1

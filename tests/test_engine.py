@@ -1,0 +1,164 @@
+"""Tests for the discrete-event kernel and statistics collectors."""
+
+import pytest
+
+from repro.engine import Counter, Event, EventKind, Histogram, RateTracker, Simulator
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda s: order.append("c"))
+        sim.schedule(10, lambda s: order.append("a"))
+        sim.schedule(20, lambda s: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(10, lambda s, i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5, lambda s: times.append(s.now_ns))
+        sim.schedule(15, lambda s: times.append(s.now_ns))
+        final = sim.run()
+        assert times == [5, 15]
+        assert final == 15
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        def first(s):
+            seen.append(s.now_ns)
+            s.schedule(10, lambda s2: seen.append(s2.now_ns))
+        sim.schedule(1, first)
+        sim.run()
+        assert seen == [1, 11]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(10, lambda s: fired.append(1))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda s: fired.append(1))
+        sim.schedule(100, lambda s: fired.append(2))
+        sim.run(until_ns=50)
+        assert fired == [1]
+        assert sim.now_ns == 50
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i + 1, lambda s: None)
+        sim.run(max_events=3)
+        assert sim.events_run == 3
+        assert sim.pending == 7
+
+    def test_rejects_past(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda s: None)
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, lambda s: s.schedule_at(20, lambda s2: seen.append(s2.now_ns)))
+        sim.run()
+        assert seen == [20]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_event_kind_tag(self):
+        ev = Event(0.0, 0, lambda s: None, EventKind.MEMORY)
+        assert ev.kind is EventKind.MEMORY
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("hits")
+        c.add("hits", 2)
+        assert c.get("hits") == 3
+        assert c.get("missing") == 0
+
+    def test_monotonic(self):
+        with pytest.raises(ValueError):
+            Counter().add("x", -1)
+
+    def test_merge(self):
+        a, b = Counter(), Counter()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 5)
+        a.merge(b)
+        assert a.get("x") == 3
+        assert a.get("y") == 5
+
+    def test_snapshot_is_copy(self):
+        c = Counter()
+        c.add("x")
+        snap = c.snapshot()
+        snap["x"] = 99
+        assert c.get("x") == 1
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram([10, 20, 30])
+        for v in (5, 15, 25, 35, 100):
+            h.record(v)
+        assert h.bucket_counts() == [1, 1, 1, 2]
+        assert h.count == 5
+
+    def test_mean(self):
+        h = Histogram([100])
+        assert h.mean is None
+        h.record(10)
+        h.record(20)
+        assert h.mean == 15
+
+    def test_rejects_unsorted_or_empty(self):
+        with pytest.raises(ValueError):
+            Histogram([3, 1])
+        with pytest.raises(ValueError):
+            Histogram([])
+
+
+class TestRateTracker:
+    def test_rate(self):
+        r = RateTracker()
+        r.record(0.0, 100)
+        r.record(100.0, 100)  # 200 bytes over 100 ns
+        assert r.total == 200
+        assert r.rate_per_s() == pytest.approx(200 / 100e-9)
+
+    def test_insufficient_data(self):
+        r = RateTracker()
+        assert r.rate_per_s() is None
+        r.record(5.0, 10)
+        assert r.rate_per_s() is None  # zero-length window
+
+    def test_rejects_time_reversal(self):
+        r = RateTracker()
+        r.record(10.0, 1)
+        with pytest.raises(ValueError):
+            r.record(5.0, 1)
+
+    def test_rejects_negative_amount(self):
+        with pytest.raises(ValueError):
+            RateTracker().record(0.0, -1)

@@ -1,0 +1,232 @@
+"""Tests for the experiment drivers: every table/figure driver runs and
+reproduces the paper's qualitative claims at reduced scale."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig6_probe,
+    fig7_overall,
+    fig8_energy,
+    fig9_efficiency,
+    sec31_activation,
+    sec32_mlp,
+    table1_operators,
+    table2_phases,
+    table5_partition,
+)
+from repro.experiments.common import ResultMatrix, format_table, make_workload
+
+#: Reduced scale so the whole experiment suite runs quickly in CI.
+SCALE = 500.0
+
+
+@pytest.fixture(scope="module")
+def seed():
+    return 17
+
+
+class TestCommon:
+    def test_make_workload_all_operators(self):
+        for op in ("scan", "sort", "groupby", "join"):
+            assert make_workload(op, num_partitions=8) is not None
+        with pytest.raises(ValueError):
+            make_workload("cross-product")
+
+    def test_result_matrix_caches(self):
+        matrix = ResultMatrix(systems=("cpu",), operators=("scan",), scale=10.0)
+        a = matrix.result("cpu", "scan")
+        b = matrix.result("cpu", "scan")
+        assert a is b
+
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "333" in lines[3]
+
+
+class TestTable1:
+    def test_all_operators_verified(self):
+        out = table1_operators.run()
+        assert all(out["verified"].values())
+        assert set(out["map"]) == {"scan", "groupby", "join", "sort"}
+        assert "GroupByKey" in out["map"]["groupby"]
+        assert "ok" in out["table"]
+
+
+class TestTable2:
+    def test_phase_structure(self):
+        out = table2_phases.run()
+        s = out["structure"]
+        assert s["scan"]["histogram"] == []
+        assert s["scan"]["distribute"] == []
+        for op in ("join", "groupby", "sort"):
+            assert s[op]["histogram"], op
+            assert s[op]["distribute"], op
+        assert "hash-build" in s["join"]["probe"]
+        assert "mergesort" in s["sort"]["probe"]
+
+
+class TestTable5:
+    def test_partition_ordering(self):
+        out = table5_partition.run(scale=SCALE)
+        s = out["speedups"]
+        assert 1 < s["nmp-rand"] < s["nmp-perm"] < s["mondrian-noperm"] < s["mondrian"]
+
+    def test_within_order_of_magnitude_of_paper(self):
+        out = table5_partition.run(scale=SCALE)
+        for name, paper in out["paper"].items():
+            measured = out["speedups"][name]
+            assert paper / 10 < measured < paper * 10, (name, measured, paper)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def out(self):
+        return fig6_probe.run(scale=SCALE)
+
+    def test_scan_identical_for_both_nmp(self, out):
+        s = out["speedups"]["scan"]
+        assert s["nmp-rand"] == pytest.approx(s["nmp-seq"])
+
+    def test_all_nmp_beat_cpu(self, out):
+        for op, series in out["speedups"].items():
+            for system, value in series.items():
+                assert value > 1.0, (op, system)
+
+    def test_rand_beats_seq_on_join_and_groupby(self, out):
+        for op in ("join", "groupby"):
+            s = out["speedups"][op]
+            assert s["nmp-rand"] > s["nmp-seq"], op
+
+    def test_mondrian_best_probe_everywhere(self, out):
+        for op, series in out["speedups"].items():
+            assert series["mondrian"] >= max(
+                series["nmp-rand"], series["nmp-seq"]
+            ) * 0.95, op
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def out(self):
+        return fig7_overall.run(scale=SCALE)
+
+    def test_ordering_nmp_to_mondrian(self, out):
+        for op, series in out["speedups"].items():
+            assert series["nmp"] <= series["nmp-perm"] * 1.01, op
+            assert series["mondrian"] > series["nmp"], op
+
+    def test_mondrian_peak_band(self, out):
+        # Paper: up to 49x.  Accept the same order of magnitude.
+        assert 5 < out["mondrian_peak"] < 200
+
+    def test_mondrian_vs_best_nmp_band(self, out):
+        # Paper: up to 5x.
+        assert 1.2 < out["mondrian_vs_best_nmp_peak"] < 10
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def out(self):
+        return fig8_energy.run(scale=SCALE)
+
+    def test_fractions_normalized(self, out):
+        for system, fr in out["fractions"].items():
+            assert sum(fr.values()) == pytest.approx(1.0), system
+
+    def test_cpu_cores_dominate(self, out):
+        fr = out["fractions"]["cpu"]
+        assert fr["cores"] == max(fr.values())
+
+    def test_nmp_and_nmp_perm_profiles_close(self, out):
+        # Paper: "the energy profiles of NMP and NMP-perm are near-identical".
+        a, b = out["fractions"]["nmp-rand"], out["fractions"]["nmp-perm"]
+        for component in a:
+            assert a[component] == pytest.approx(b[component], abs=0.1), component
+
+    def test_mondrian_shrinks_static_share(self, out):
+        mon = out["fractions"]["mondrian"]
+        nmp = out["fractions"]["nmp-rand"]
+        static_mon = mon["dram_static"] + mon["serdes_noc"]
+        static_nmp = nmp["dram_static"] + nmp["serdes_noc"]
+        # Relative to its dynamic share, Mondrian is less static-dominated.
+        assert static_mon / mon["dram_dyn"] < static_nmp / nmp["dram_dyn"]
+
+    def test_total_energy_ordering(self, out):
+        t = out["totals_j"]
+        assert t["mondrian"] < t["nmp-perm"] <= t["nmp-rand"] < t["cpu"]
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def out(self):
+        return fig9_efficiency.run(scale=SCALE)
+
+    def test_everyone_beats_cpu(self, out):
+        for op, series in out["improvements"].items():
+            for system, value in series.items():
+                assert value > 1.0, (op, system)
+
+    def test_mondrian_most_efficient(self, out):
+        for op, series in out["improvements"].items():
+            assert series["mondrian"] >= series["nmp-perm"] >= series["nmp"] * 0.99, op
+
+    def test_peak_band_vs_paper(self, out):
+        # Paper: up to 28x.
+        assert 8 < out["mondrian_peak"] < 100
+
+
+class TestSec31:
+    def test_hmc_endpoints_match_paper(self):
+        out = sec31_activation.run()
+        assert out["hmc_full_row"] == pytest.approx(0.14, abs=0.04)
+        assert out["hmc_8b"] == pytest.approx(0.80, abs=0.08)
+
+    def test_monotone_in_granularity(self):
+        out = sec31_activation.run()
+        hmc = out["fractions"]["HMC"]
+        grans = sorted(hmc)
+        assert all(hmc[a] > hmc[b] for a, b in zip(grans, grans[1:]))
+
+    def test_larger_rows_worse(self):
+        out = sec31_activation.run()
+        assert out["fractions"]["HBM"][64] > out["fractions"]["HMC"][64]
+        assert out["fractions"]["WideIO2"][64] > out["fractions"]["HBM"][64]
+
+
+class TestSec32:
+    def test_a57_matches_paper_arithmetic(self):
+        out = sec32_mlp.run()
+        assert out["a57_mlp"] == pytest.approx(21.3, abs=1.5)
+        assert out["a57_bw_gbps"] == pytest.approx(5.3, abs=0.5)
+
+    def test_power_budget_verdicts(self):
+        out = sec32_mlp.run()
+        d = out["details"]
+        assert not d["cortex-a57 (OoO)"]["fits_vault_budget"]
+        assert d["krait400 (OoO)"]["fits_vault_budget"]
+        assert d["mondrian A35+SIMD"]["fits_vault_budget"]
+
+    def test_mondrian_saturates_peak(self):
+        out = sec32_mlp.run()
+        assert out["details"]["mondrian A35+SIMD"]["bw_gbps"] == pytest.approx(8.0)
+
+
+class TestAblations:
+    def test_simd_width_monotone(self):
+        sweep = ablations.simd_width_sweep(widths=(128, 1024), scale=SCALE)
+        assert sweep[1024] <= sweep[128]
+
+    def test_row_buffer_saving_grows(self):
+        sweep = ablations.row_buffer_sweep()
+        savings = [sweep[rb]["saving"] for rb in sorted(sweep)]
+        assert savings[0] < savings[-1]
+        assert all(s > 1 for s in savings)
+
+    def test_window_sweep_monotone_and_low(self):
+        sweep = ablations.scheduler_window_sweep()
+        hit_rates = [sweep[w] for w in sorted(sweep)]
+        assert all(a <= b + 1e-9 for a, b in zip(hit_rates, hit_rates[1:]))
+        # Practical windows cannot recover the shuffle's locality.
+        assert sweep[16] < 0.5

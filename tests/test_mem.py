@@ -1,0 +1,121 @@
+"""Tests for address mapping and region layout."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config.dram import HmcGeometry
+from repro.mem import AddressMap, DramCoord, MemoryLayout
+
+
+GEO = HmcGeometry()
+AMAP = AddressMap(GEO)
+
+
+class TestAddressMap:
+    def test_vault_contiguity(self):
+        cap = GEO.vault_capacity_b
+        assert AMAP.vault_of(0) == 0
+        assert AMAP.vault_of(cap - 1) == 0
+        assert AMAP.vault_of(cap) == 1
+        assert AMAP.vault_of(GEO.total_capacity_b - 1) == GEO.total_vaults - 1
+
+    def test_stack_of(self):
+        assert AMAP.stack_of(0) == 0
+        assert AMAP.stack_of(GEO.stack_capacity_b) == 1
+
+    def test_vault_base(self):
+        assert AMAP.vault_base(0) == 0
+        assert AMAP.vault_base(3) == 3 * GEO.vault_capacity_b
+        with pytest.raises(ValueError):
+            AMAP.vault_base(GEO.total_vaults)
+
+    def test_decode_fields(self):
+        c = AMAP.decode(0)
+        assert c == DramCoord(stack=0, vault=0, bank=0, row=0, column=0)
+        c = AMAP.decode(256)  # second row -> next bank (row-interleaved)
+        assert c.bank == 1
+        assert c.row == 0
+        c = AMAP.decode(256 * 8)  # ninth row wraps banks
+        assert c.bank == 0
+        assert c.row == 1
+
+    def test_column_offset(self):
+        assert AMAP.decode(100).column == 100
+        assert AMAP.decode(256 + 7).column == 7
+
+    @given(st.integers(min_value=0, max_value=GEO.total_capacity_b - 1))
+    @settings(max_examples=200)
+    def test_roundtrip(self, addr):
+        assert AMAP.encode(AMAP.decode(addr)) == addr
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            AMAP.decode(GEO.total_capacity_b)
+        with pytest.raises(ValueError):
+            AMAP.decode(-1)
+
+    def test_row_identity(self):
+        assert AMAP.same_row(0, 255)
+        assert not AMAP.same_row(0, 256)
+        assert AMAP.row_id(256) == AMAP.row_id(511)
+
+    def test_encode_validates(self):
+        with pytest.raises(ValueError):
+            AMAP.encode(DramCoord(stack=0, vault=0, bank=99, row=0, column=0))
+        with pytest.raises(ValueError):
+            AMAP.encode(DramCoord(stack=0, vault=0, bank=0, row=0, column=256))
+
+
+class TestMemoryLayout:
+    def test_allocation_in_vault(self):
+        layout = MemoryLayout(GEO)
+        region = layout.allocate("rel", vault=5, size_b=1000)
+        assert region.vault == 5
+        assert region.base == AMAP.vault_base(5)
+        assert region.size_b == 1000
+        assert region.contains(region.base)
+        assert not region.contains(region.end)
+
+    def test_row_alignment(self):
+        layout = MemoryLayout(GEO)
+        layout.allocate("a", 0, 100)
+        b = layout.allocate("b", 0, 100)
+        assert b.base % GEO.row_size_b == 0
+        assert b.base == 256
+
+    def test_duplicate_name_rejected(self):
+        layout = MemoryLayout(GEO)
+        layout.allocate("a", 0, 100)
+        with pytest.raises(ValueError):
+            layout.allocate("a", 1, 100)
+
+    def test_overflow(self):
+        layout = MemoryLayout(GEO)
+        with pytest.raises(MemoryError):
+            layout.allocate("huge", 0, GEO.vault_capacity_b + 1)
+
+    def test_free_bytes_decreases(self):
+        layout = MemoryLayout(GEO)
+        before = layout.free_bytes(0)
+        layout.allocate("a", 0, 4096)
+        assert layout.free_bytes(0) == before - 4096
+
+    def test_striped_allocation(self):
+        layout = MemoryLayout(GEO)
+        regions = layout.allocate_striped("rel", 512)
+        assert len(regions) == GEO.total_vaults
+        assert all(r.vault == i for i, r in enumerate(regions))
+        assert layout.get("rel/v3").vault == 3
+
+    def test_lookup_and_contains(self):
+        layout = MemoryLayout(GEO)
+        layout.allocate("x", 2, 256)
+        assert "x" in layout
+        assert layout.get("x").name == "x"
+        with pytest.raises(KeyError):
+            layout.get("y")
+        assert [r.name for r in layout.regions_in_vault(2)] == ["x"]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(GEO).allocate("z", 0, 0)
