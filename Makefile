@@ -1,0 +1,28 @@
+# Mondrian Data Engine reproduction -- developer entry points.
+# All targets run from the repo root; no installation required.
+
+PY ?= python
+export PYTHONPATH := src
+
+.PHONY: test docs-check report pipelines
+
+## Tier-1 verification: full unit/integration/experiment + benchmark suite.
+test:
+	$(PY) -m pytest -x -q
+
+## Executable-documentation check: doctest every fenced code block in
+## README.md and docs/, validate documented CLI flags against the real
+## parser, then smoke-run the documented commands end-to-end.
+docs-check:
+	$(PY) -m pytest -q tests/test_docs.py
+	$(PY) -m repro.experiments.run_all --fast > /dev/null
+	$(PY) -m repro.experiments.run_all --fast --pipelines > /dev/null
+	@echo "docs-check OK: doc examples pass and documented commands run."
+
+## Full paper-artifact report at paper scale.
+report:
+	$(PY) -m repro.experiments.run_all
+
+## Query-pipeline suite (per-stage breakdowns, CPU vs NMP vs Mondrian).
+pipelines:
+	$(PY) -m repro.experiments.run_all --pipelines

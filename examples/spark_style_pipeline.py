@@ -2,31 +2,38 @@
 """A Spark-style analytics pipeline on the Mondrian Data Engine.
 
 The paper's Table 1 maps Spark transformations onto the four basic
-operators.  This example plays a small business-intelligence query the
-way a Spark backend would lower it:
+operators.  This example lowers a small business-intelligence query into
+a single :class:`~repro.pipeline.plan.QueryPlan` the way a Spark backend
+would:
 
-    clicks  = LookupKey(events, product_id == TARGET)        -> Scan
-    joined  = Join(clicks_by_user, users)                    -> Join
-    spend   = AggregateByKey(joined, by=region, agg=sum/avg) -> Group by
-    ranked  = SortByKey(spend)                               -> Sort
+    kept    = Filter(events, product_id % 4 == 0)          -> Scan
+    joined  = Join(users, kept)                            -> Join
+    spend   = AggregateByKey(joined, agg=sum)              -> Group by
+    ranked  = SortByKey(spend)                             -> Sort
 
-Each stage runs on the engine (tuples really move through partitioning
-and probing) and reports the modeled runtime/energy of the three machine
-classes, showing where near-memory execution pays off along a realistic
-query plan.
+The plan runs unchanged on every machine: tuples really move through
+partitioning and probing once per machine, each stage's phase costs are
+evaluated by that machine's models, and the report shows where
+near-memory execution pays off along a realistic query plan -- per-stage
+breakdowns, the pipeline bottleneck, and end-to-end speedups.
 
-Run:  python examples/spark_style_pipeline.py
+Run:  PYTHONPATH=src python examples/spark_style_pipeline.py
 """
 
 import numpy as np
 
-from repro.analytics import Relation, make_join_workload
-from repro.analytics.workload import (
-    GroupByWorkload,
-    ScanWorkload,
-    SortWorkload,
-    _split,
+from repro.pipeline import (
+    FilterStage,
+    GroupByStage,
+    JoinStage,
+    QueryPlan,
+    SortStage,
+    bottleneck_report,
+    comparison_table,
+    make_fk_tables,
+    stage_breakdown_table,
 )
+from repro.pipeline.queries import KEY_SPACE_BITS
 from repro.systems import build_system
 
 PARTITIONS = 64
@@ -34,63 +41,52 @@ SCALE = 1000.0
 SYSTEMS = ("cpu", "nmp-perm", "mondrian")
 
 
-def stage(title, operator, workload):
-    print(f"\n== {title} ({operator}) ==")
-    results = {}
-    for name in SYSTEMS:
-        r = build_system(name).run_operator(operator, workload, scale_factor=SCALE)
-        results[name] = r
-        print(
-            f"  {name:10s} runtime={r.runtime_s * 1e3:9.3f} ms  "
-            f"energy={r.energy.total_j:7.4f} J"
-        )
-    base = results["cpu"]
-    best = min(results.values(), key=lambda r: r.runtime_s)
-    print(f"  -> fastest: {best.system} ({base.runtime_s / best.runtime_s:.1f}x vs cpu)")
-    return results
-
-
 def main() -> None:
-    rng = np.random.default_rng(7)
+    # users(user_id, profile_score), events(user_id, spend): the shared
+    # FK generator keeps payloads small enough for exact chained sums.
+    users, events = make_fk_tables(n_r=6_000, n_s=24_000, seed=7)
 
-    # events(product_id, user_id): the clicks table.
-    n_events, n_users = 24_000, 6_000
-    join_w = make_join_workload(n_users, n_events, PARTITIONS, seed=7)
-
-    # Stage 1 -- LookupKey on the events table (Scan).
-    target = int(join_w.s_partitions[0].keys[0])
-    scan_w = ScanWorkload(
-        partitions=join_w.s_partitions, search_key=target,
-        key_space_bits=join_w.key_space_bits,
+    plan = QueryPlan(
+        name="bi-spend-ranking",
+        tables={"users": users, "events": events},
+        stages=[
+            # LookupKey -> Scan: keep a quarter of the products.
+            FilterStage(
+                "events", "kept", predicate=lambda k: k % np.uint64(4) == 0
+            ),
+            # Join clicks with user profiles (FK: every event has a user).
+            JoinStage("users", "kept", "joined"),
+            # AggregateByKey: spend per user.
+            GroupByStage("joined", "spend", aggregate="sum"),
+            # SortByKey: rank the totals.
+            SortStage("spend", "ranked"),
+        ],
+        num_partitions=PARTITIONS,
+        key_space_bits=KEY_SPACE_BITS,
+        description="filter -> join -> aggregate -> rank",
     )
-    stage("find clicks on the target product", "scan", scan_w)
 
-    # Stage 2 -- Join clicks with the users table.
-    join_results = stage("join clicks with user profiles", "join", join_w)
-    assert join_results["mondrian"].output.matches == n_events
+    print(f"Query plan {plan.name!r}: {' -> '.join(plan.stage_names)}\n")
 
-    # Stage 3 -- AggregateByKey: spend per region (Group by).  Regions
-    # are synthesized by coarsening user keys (64 regions).
-    users = join_w.r_partitions
-    all_users = users[0]
-    for p in users[1:]:
-        all_users = all_users.concat(p)
-    region_keys = (all_users.keys % np.uint64(64)) + np.uint64(1)
-    spend = Relation.from_arrays(region_keys, all_users.payloads, "spend")
-    group_w = GroupByWorkload(
-        partitions=_split(spend, PARTITIONS),
-        key_space_bits=7,
-        avg_group_size=len(spend) / 64,
-    )
-    group_results = stage("aggregate spend per region", "groupby", group_w)
-    assert group_results["mondrian"].output.num_groups <= 64
+    perfs = {}
+    for system in SYSTEMS:
+        perf = build_system(system).run_pipeline(plan, scale_factor=SCALE)
+        perfs[system] = perf
+        print(f"[{system}]")
+        print(stage_breakdown_table(perf))
+        print(bottleneck_report(perf))
+        print()
 
-    # Stage 4 -- SortByKey the per-region totals (Sort).  Sorting the
-    # full spend table stands in for the ranking shuffle.
-    sort_w = SortWorkload(partitions=_split(spend, PARTITIONS), key_space_bits=7)
-    stage("rank regions", "sort", sort_w)
+    print(comparison_table(perfs, baseline="cpu"))
 
-    print("\nPipeline complete: every stage verified functionally on all machines.")
+    # The pipeline is functionally verified stage by stage on every
+    # machine (join checksums, group sums, sortedness); the final ranked
+    # relation must agree across machines tuple for tuple.
+    outputs = {
+        s: p.stages[-1].result.output for s, p in perfs.items()
+    }
+    assert all(outputs["cpu"].multiset_equal(o) for o in outputs.values())
+    print("\nPipeline complete: identical ranked output on all machines.")
 
 
 if __name__ == "__main__":

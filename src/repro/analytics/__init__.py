@@ -30,6 +30,7 @@ from repro.analytics.workload import (
     make_join_workload,
     make_scan_workload,
     make_sort_workload,
+    split_relation,
 )
 
 __all__ = [
@@ -54,5 +55,6 @@ __all__ = [
     "multiplicative_hash",
     "partition_imbalance",
     "prefix_sum",
+    "split_relation",
     "zipf_keys",
 ]

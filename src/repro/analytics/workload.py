@@ -34,8 +34,15 @@ def _payloads(rng: np.random.Generator, n: int) -> np.ndarray:
     return rng.integers(0, 1 << 63, size=n, dtype=np.uint64)
 
 
-def _split(relation: Relation, num_partitions: int) -> List[Relation]:
-    """Split a relation into near-equal contiguous partition slices."""
+def split_relation(relation: Relation, num_partitions: int) -> List[Relation]:
+    """Split a relation into near-equal contiguous partition slices.
+
+    This is the paper's initial data placement: input relations start
+    "randomly distributed across multiple memory partitions", one slice
+    per vault.  Workload constructors and the pipeline subsystem both use
+    it to turn a whole relation into the per-partition lists operators
+    consume.
+    """
     if num_partitions < 1:
         raise ValueError("need at least one partition")
     bounds = np.linspace(0, len(relation), num_partitions + 1).astype(int)
@@ -43,6 +50,10 @@ def _split(relation: Relation, num_partitions: int) -> List[Relation]:
         relation.slice(bounds[i], bounds[i + 1], f"{relation.name}/p{i}")
         for i in range(num_partitions)
     ]
+
+
+#: Backwards-compatible private alias (pre-pipeline callers).
+_split = split_relation
 
 
 @dataclass(frozen=True)

@@ -1,11 +1,28 @@
 """Shared experiment plumbing: default workloads, scale, result caching.
 
-Functional datasets are kept small enough for pure-Python execution;
-``MODEL_SCALE`` extrapolates the cost model to a paper-sized dataset
-(the paper fills 512 MB vaults with 16 B tuples).  The extrapolation is
-exact for the per-tuple-linear phases and captures sorting's log factor
-by computing pass counts at model size (see ``model_scale`` in
-:mod:`repro.operators`).
+Two dataset sizes are in play everywhere:
+
+- **Functional size** (``FUNCTIONAL_N``): the tuples Python actually
+  moves through partitioning and probing -- kept in the tens of
+  thousands so the whole suite runs in seconds and outputs stay
+  exactly verifiable.
+- **Modeled size** = functional size x ``MODEL_SCALE``: the dataset the
+  ``PhaseCost`` records *describe*.  Every operator runner takes the
+  factor as ``model_scale`` (machines pass it as ``scale_factor``) and
+  emits costs for the larger dataset: per-tuple-linear quantities scale
+  exactly, and size-dependent structure -- mergesort pass counts,
+  hash-table region sizes -- is recomputed at modeled size, not scaled.
+
+The default ``MODEL_SCALE`` of 2000x turns the ~20k-tuple functional
+runs into a ~40M-tuple (~0.6 GB) modeled dataset: a mid-size slice of
+the paper's 32 GB machine (512 MB vaults filled with 16 B tuples) that
+keeps per-partition working sets far beyond every cache level, as in the
+paper.  ``run_all --fast`` and the test suite use 500x, which preserves
+all qualitative orderings.
+
+:class:`ResultMatrix` memoizes (system, operator) -> result so the
+experiment modules can share runs; :func:`format_table` is the one ASCII
+table style used by every report, including the pipeline subsystem's.
 """
 
 from __future__ import annotations

@@ -1,0 +1,98 @@
+"""End-to-end query pipelines across machines (beyond the paper).
+
+The paper measures each operator in isolation (Tables 2/5, Figures 6-9);
+its motivating workloads, however, are multi-operator Spark queries
+(Table 1).  This experiment runs the three canonical query shapes of
+:mod:`repro.pipeline.queries` end-to-end on the CPU baseline, the best
+NMP baseline (NMP-perm) and Mondrian, reporting per-stage time/energy
+breakdowns, the pipeline bottleneck, and whole-pipeline speedups.
+
+Expected qualitative outcome: Mondrian's single-operator wins compound --
+every pipeline keeps a positive end-to-end speedup, and the bottleneck
+stage shifts with the machine (the CPU pays for partitioning shuffles the
+NMP machines absorb locally).
+
+Run:  python -m repro.experiments.pipeline_queries
+      python -m repro.experiments.run_all --pipelines
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import MODEL_SCALE, format_table
+from repro.pipeline.perf import PipelinePerf, pipeline_speedup
+from repro.pipeline.queries import CANONICAL_QUERIES
+from repro.pipeline.report import (
+    bottleneck_report,
+    comparison_table,
+    stage_breakdown_table,
+)
+from repro.systems import build_system
+
+#: Machines compared end-to-end: CPU baseline, best NMP baseline, Mondrian.
+SYSTEMS = ("cpu", "nmp-perm", "mondrian")
+
+#: Functional sizes, kept below the single-operator defaults because a
+#: pipeline executes several operators per machine.
+QUERY_SIZES = {
+    "fk-join-aggregate": {"n_r": 4_000, "n_s": 16_000},
+    "sort-then-scan": {"n": 16_000},
+    "skewed-partition-join": {"n_r": 4_000, "n_s": 16_000},
+}
+
+
+def run(scale: float = MODEL_SCALE, seed: int = 17, num_partitions: int = 64) -> Dict:
+    """Run every canonical query on every machine.
+
+    Returns per-(query, system) :class:`PipelinePerf` objects, speedups
+    vs the CPU, the formatted per-stage/breakdown tables, and a summary
+    comparison table.
+    """
+    perfs: Dict[str, Dict[str, PipelinePerf]] = {}
+    sections = []
+    for query, builder in CANONICAL_QUERIES.items():
+        plan = builder(
+            num_partitions=num_partitions, seed=seed, **QUERY_SIZES.get(query, {})
+        )
+        perfs[query] = {}
+        lines = [f"-- {query}: {plan.description} --"]
+        for system in SYSTEMS:
+            perf = build_system(system).run_pipeline(plan, scale_factor=scale)
+            perfs[query][system] = perf
+            lines.append(f"\n[{system}]")
+            lines.append(stage_breakdown_table(perf))
+            lines.append(bottleneck_report(perf))
+        lines.append("")
+        lines.append(comparison_table(perfs[query], baseline="cpu"))
+        sections.append("\n".join(lines))
+
+    speedups = {
+        query: {
+            system: pipeline_speedup(series["cpu"], series[system])
+            for system in SYSTEMS
+        }
+        for query, series in perfs.items()
+    }
+    rows = [
+        [query] + [f"{speedups[query][s]:.1f}x" for s in SYSTEMS]
+        for query in CANONICAL_QUERIES
+    ]
+    summary = format_table(["Query"] + [s.upper() for s in SYSTEMS], rows)
+    return {
+        "perfs": perfs,
+        "speedups": speedups,
+        "sections": sections,
+        "summary": summary,
+        "table": "\n\n".join(sections + ["Pipeline speedup vs CPU:\n" + summary]),
+    }
+
+
+def main() -> None:
+    out = run()
+    print("Query pipelines: per-stage breakdowns and end-to-end speedups\n")
+    print(out["table"])
+
+
+if __name__ == "__main__":
+    main()

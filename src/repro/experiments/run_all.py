@@ -2,11 +2,16 @@
 
 Usage::
 
-    python -m repro.experiments.run_all            # full report
-    python -m repro.experiments.run_all --fast     # reduced model scale
+    python -m repro.experiments.run_all               # full paper report
+    python -m repro.experiments.run_all --fast        # reduced model scale
+    python -m repro.experiments.run_all --pipelines   # query pipelines only
+    python -m repro.experiments.run_all --fast --pipelines
 
-Prints each artifact's table in paper order, with the paper's values
-alongside where the experiment reports them.
+Without flags, prints each paper artifact's table in paper order, with
+the paper's values alongside where the experiment reports them.
+``--pipelines`` runs the multi-operator query-pipeline suite instead
+(per-stage time/energy breakdowns on CPU, NMP-perm and Mondrian); see
+``docs/USAGE.md`` for the full flag reference.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from repro.experiments import (
     fig7_overall,
     fig8_energy,
     fig9_efficiency,
+    pipeline_queries,
     sec31_activation,
     sec32_mlp,
     skew_partitioning,
@@ -28,6 +34,9 @@ from repro.experiments import (
     table5_partition,
 )
 from repro.experiments.common import MODEL_SCALE
+
+#: Model scale used by ``--fast`` (full runs use ``MODEL_SCALE``).
+FAST_SCALE = 500.0
 
 SCALED = (
     ("Table 5: partition speedup vs CPU", table5_partition),
@@ -46,22 +55,32 @@ UNSCALED = (
 )
 
 
+def build_parser() -> argparse.ArgumentParser:
+    """The run_all CLI (kept separate so tooling can inspect the flags)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.run_all", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help=f"use a reduced model scale ({FAST_SCALE:.0f}x instead of "
+             f"{MODEL_SCALE:.0f}x)",
+    )
+    parser.add_argument(
+        "--pipelines", action="store_true",
+        help="run the multi-operator query-pipeline suite (per-stage "
+             "time/energy breakdowns on CPU, NMP-perm and Mondrian) "
+             "instead of the paper-artifact report",
+    )
+    return parser
+
+
 def _banner(title: str) -> None:
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--fast", action="store_true",
-        help="use a reduced model scale (500x instead of 2000x)",
-    )
-    args = parser.parse_args()
-    scale = 500.0 if args.fast else MODEL_SCALE
-
-    start = time.time()
-    print(f"Mondrian Data Engine reproduction -- full report (scale {scale:.0f}x)")
-
+def run_paper_report(scale: float) -> None:
+    """The paper-artifact report (default mode)."""
     for title, module in UNSCALED:
         _banner(title)
         print(module.run()["table"])
@@ -80,6 +99,26 @@ def main() -> None:
     print(out["row_buffer_table"])
     print()
     print(out["window_table"])
+
+
+def run_pipeline_report(scale: float) -> None:
+    """The query-pipeline suite (``--pipelines``)."""
+    _banner("Query pipelines: per-stage breakdowns, CPU vs NMP vs Mondrian")
+    print(pipeline_queries.run(scale=scale)["table"])
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    scale = FAST_SCALE if args.fast else MODEL_SCALE
+
+    start = time.time()
+    mode = "query-pipeline suite" if args.pipelines else "full report"
+    print(f"Mondrian Data Engine reproduction -- {mode} (scale {scale:.0f}x)")
+
+    if args.pipelines:
+        run_pipeline_report(scale)
+    else:
+        run_paper_report(scale)
 
     print(f"\nDone in {time.time() - start:.1f}s.")
 

@@ -11,6 +11,26 @@ Join       low-order-bit shuffle    hash build+probe / sort-merge join
 Group by   low-order-bit shuffle    hash aggregate / sort + seq fold
 Sort       high-order-bit shuffle   quicksort (CPU) / mergesort (NMP)
 =========  =======================  ==================================
+
+Exported names, by role:
+
+- Runners -- ``run_scan`` / ``run_sort`` / ``run_groupby`` / ``run_join``
+  execute one operator functionally and cost it; ``OPERATOR_RUNNERS``
+  / ``OPERATOR_NAMES`` is the dispatch table the systems layer uses;
+  ``run_partitioning`` is the shared shuffle phase and
+  ``run_partitioning_skew_aware`` its two-round variant for skewed keys
+  (with ``plan_rebalance``, ``RebalancePlan`` and
+  ``PartitionOverflowError`` as its protocol pieces).
+- Contracts -- ``PhaseCost`` (one phase's machine-independent work),
+  ``OperatorRun`` (phases + functional output), ``OperatorVariant`` (how
+  a machine runs an operator), and the phase categories
+  ``PHASE_HISTOGRAM`` / ``PHASE_DISTRIBUTE`` / ``PHASE_PROBE``.
+- Outputs -- ``ScanOutput``, ``JoinOutput``, ``GroupByOutput``: each
+  operator's verifiable functional result.
+- Building blocks -- ``LinearProbingHashTable`` (the probe substrate),
+  ``destination_map`` with ``SCHEME_LOW_BITS`` / ``SCHEME_HIGH_BITS``
+  (bucket routing), and the sort kernels ``quicksort`` / ``mergesort``
+  / ``merge_pass`` / ``bitonic_sort_runs``.
 """
 
 from repro.operators.base import (

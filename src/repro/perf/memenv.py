@@ -1,8 +1,14 @@
 """Derive the per-unit memory environment a phase sees on a machine.
 
-The environment bundles what the core model needs: average random-access
-latency, the device-side sustainable bandwidths for the phase's access
-patterns, and the extra latency of crossing the network.
+This is the middle step of the ``PhaseCost -> PhaseEvaluator ->
+PhasePerf`` path (see ``docs/ARCHITECTURE.md``): before the core model
+can estimate a phase's time, it needs to know what memory looks like
+*from one compute unit's seat* on this machine.  The returned
+:class:`~repro.cores.profile.MemEnvironment` bundles exactly that --
+average random-access latency (``rand_latency_ns``), device-side
+sustainable bandwidths for the phase's sequential and random patterns
+(``seq_bw_bps`` / ``rand_bw_bps``), and the extra latency of crossing
+the memory network (``remote_extra_latency_ns``).
 
 Latency composition:
 

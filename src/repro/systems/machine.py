@@ -89,6 +89,25 @@ class Machine:
         )
         return self.evaluate_run(run)
 
+    def run_pipeline(self, plan: Any, scale_factor: float = 1.0) -> Any:
+        """Execute a :class:`~repro.pipeline.plan.QueryPlan` end-to-end.
+
+        Every stage runs functionally under this machine's operator
+        variant; the resulting per-stage phases are costed with the same
+        evaluator/energy path as standalone operators.  Returns a
+        :class:`~repro.pipeline.perf.PipelinePerf`.
+        """
+        # Imported here: repro.pipeline pulls in the experiments layer
+        # (table formatting), which imports repro.systems back.
+        from repro.pipeline.perf import evaluate_pipeline
+
+        if scale_factor <= 0:
+            raise ValueError("scale factor must be positive")
+        run = plan.execute(
+            self.variant(plan.num_partitions), model_scale=scale_factor
+        )
+        return evaluate_pipeline(self, run)
+
     def evaluate_run(self, run: OperatorRun) -> SystemResult:
         """Cost an already-executed operator run on this machine."""
         phase_perfs = []
