@@ -4,7 +4,10 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test docs-check report pipelines
+#: Current perf-trajectory point; bump per perf PR (BENCH_PR3.json, ...).
+BENCH_JSON ?= BENCH_PR2.json
+
+.PHONY: test docs-check report pipelines bench bench-compare
 
 ## Tier-1 verification: full unit/integration/experiment + benchmark suite.
 test:
@@ -26,3 +29,12 @@ report:
 ## Query-pipeline suite (per-stage breakdowns, CPU vs NMP vs Mondrian).
 pipelines:
 	$(PY) -m repro.experiments.run_all --pipelines
+
+## Perf trajectory: run the benchmark suite and write $(BENCH_JSON).
+bench:
+	$(PY) -m pytest -q benchmarks --benchmark-json $(BENCH_JSON)
+
+## Diff the two newest committed BENCH_*.json trajectory points
+## (or: make bench-compare ARGS="NEW.json OLD.json").
+bench-compare:
+	$(PY) benchmarks/compare.py $(or $(ARGS),--latest)

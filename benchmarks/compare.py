@@ -1,0 +1,107 @@
+"""Diff two pytest-benchmark JSON files (the repo's BENCH_* trajectory).
+
+Usage::
+
+    python benchmarks/compare.py NEW.json OLD.json   # explicit pair
+    python benchmarks/compare.py --latest            # newest two BENCH_*.json
+
+Prints per-benchmark mean times and the speedup of NEW over OLD
+(>1x means NEW is faster), plus benchmarks present in only one file.
+Exits non-zero only on usage errors -- the comparison is informational,
+the repo's perf gate is the committed BENCH file trajectory itself.
+
+No third-party dependencies: runs anywhere the repo's Python does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def load_means(path: Path) -> dict:
+    """benchmark name -> mean seconds, from a pytest-benchmark JSON."""
+    with path.open() as fh:
+        payload = json.load(fh)
+    return {b["name"]: b["stats"]["mean"] for b in payload.get("benchmarks", [])}
+
+
+def find_latest_pair() -> tuple:
+    """The two newest BENCH_*.json files in the repo root, by PR number."""
+
+    def pr_number(path: Path) -> int:
+        match = re.search(r"(\d+)", path.stem)
+        return int(match.group(1)) if match else -1
+
+    files = sorted(ROOT.glob("BENCH_*.json"), key=pr_number)
+    if len(files) < 2:
+        raise SystemExit(
+            f"--latest needs two BENCH_*.json files in {ROOT}, found "
+            f"{[f.name for f in files]}; this PR establishes the first "
+            "trajectory point, so there is nothing to diff yet"
+        )
+    return files[-1], files[-2]
+
+
+def fmt_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"
+
+
+def compare(new_path: Path, old_path: Path) -> str:
+    new, old = load_means(new_path), load_means(old_path)
+    shared = sorted(set(new) & set(old))
+    lines = [f"Benchmark comparison: {new_path.name} vs {old_path.name}", ""]
+    header = f"{'benchmark':<44}  {'old':>10}  {'new':>10}  {'speedup':>8}"
+    lines += [header, "-" * len(header)]
+    for name in shared:
+        speedup = old[name] / new[name] if new[name] else float("inf")
+        lines.append(
+            f"{name:<44}  {fmt_seconds(old[name]):>10}  "
+            f"{fmt_seconds(new[name]):>10}  {speedup:>7.2f}x"
+        )
+    for name in sorted(set(new) - set(old)):
+        lines.append(f"{name:<44}  {'-':>10}  {fmt_seconds(new[name]):>10}  {'new':>8}")
+    for name in sorted(set(old) - set(new)):
+        lines.append(f"{name:<44}  {fmt_seconds(old[name]):>10}  {'-':>10}  {'gone':>8}")
+    if shared:
+        geomean = 1.0
+        for name in shared:
+            geomean *= old[name] / new[name]
+        geomean **= 1.0 / len(shared)
+        lines += ["", f"geomean speedup over {len(shared)} shared benchmarks: "
+                      f"{geomean:.2f}x"]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="NEW.json OLD.json (pytest-benchmark output)")
+    parser.add_argument("--latest", action="store_true",
+                        help="compare the two newest BENCH_*.json in the repo root")
+    args = parser.parse_args(argv)
+    if args.latest:
+        if args.files:
+            raise SystemExit("pass either --latest or two files, not both")
+        new_path, old_path = find_latest_pair()
+    elif len(args.files) == 2:
+        new_path, old_path = args.files
+    else:
+        raise SystemExit("expected exactly two files (NEW.json OLD.json) or --latest")
+    for path in (new_path, old_path):
+        if not path.is_file():
+            raise SystemExit(f"no such benchmark file: {path}")
+    print(compare(new_path, old_path))
+
+
+if __name__ == "__main__":
+    main()

@@ -5,9 +5,16 @@ Each benchmark regenerates one of the paper's tables/figures end-to-end
 modeling) and asserts the paper's qualitative shape on the result.  The
 timed quantity is the full experiment pipeline; `pedantic` keeps rounds
 low because each run is itself seconds of work.
+
+The experiment layer memoizes workloads and (system, operator) results
+in process-wide caches (see ``repro.experiments.common``); every
+benchmark starts from cleared caches so it times the full pipeline, not
+a lookup of the previous benchmark's work.
 """
 
 import pytest
+
+from repro.experiments import common
 
 #: Model scale used by the benches: large enough that working sets
 #: exceed all cache levels (as in the paper), small enough to finish
@@ -18,6 +25,14 @@ BENCH_SCALE = 500.0
 @pytest.fixture(scope="session")
 def bench_scale():
     return BENCH_SCALE
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    """Each benchmark measures a cold experiment pipeline."""
+    common.clear_caches()
+    yield
+    common.clear_caches()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -1,0 +1,57 @@
+"""Bench: the vectorized functional-simulation hot paths in isolation.
+
+These microbenches pin the two kernels the end-to-end experiments spend
+their time in -- the shuffle engine's destination materialization (both
+write disciplines) and the mergesort pass structure -- at a size close
+to one full-scale partitioning phase (64 partitions, paper section 6).
+They complement the per-figure benches: a regression here shows up
+before it is diluted by modeling code.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analytics.tuples import TUPLE_DTYPE, Relation
+from repro.operators.sort_algos import mergesort
+from repro.shuffle.engine import ShuffleEngine
+
+NUM_PARTITIONS = 64
+TUPLES_PER_SOURCE = 4_000  # 256k tuples through the engine per run
+
+
+def _shuffle_inputs(seed=17):
+    rng = np.random.default_rng(seed)
+    sources, dest_maps = [], []
+    for s in range(NUM_PARTITIONS):
+        keys = rng.integers(0, 1 << 40, TUPLES_PER_SOURCE, dtype=np.uint64)
+        sources.append(Relation.from_arrays(keys, keys, f"s{s}"))
+        dest_maps.append(
+            rng.integers(0, NUM_PARTITIONS, TUPLES_PER_SOURCE).astype(np.int64)
+        )
+    return sources, dest_maps
+
+
+def test_shuffle_permutable(benchmark):
+    sources, dest_maps = _shuffle_inputs()
+    engine = ShuffleEngine(NUM_PARTITIONS, permutable=True)
+    result = run_once(benchmark, engine.run, sources, dest_maps)
+    assert result.total_tuples == NUM_PARTITIONS * TUPLES_PER_SOURCE
+    assert result.barrier.all_complete()
+
+
+def test_shuffle_addressed(benchmark):
+    sources, dest_maps = _shuffle_inputs()
+    engine = ShuffleEngine(NUM_PARTITIONS, permutable=False)
+    result = run_once(benchmark, engine.run, sources, dest_maps)
+    assert result.total_tuples == NUM_PARTITIONS * TUPLES_PER_SOURCE
+    assert result.barrier.all_complete()
+
+
+def test_mergesort_bitonic_seeded(benchmark):
+    rng = np.random.default_rng(23)
+    data = np.empty(64_000, dtype=TUPLE_DTYPE)
+    data["key"] = rng.integers(0, 1 << 48, len(data), dtype=np.uint64)
+    data["payload"] = rng.integers(0, 1 << 60, len(data), dtype=np.uint64)
+    out, stats = run_once(benchmark, mergesort, data, True)
+    assert np.array_equal(np.sort(out["key"]), out["key"])
+    assert stats.bitonic_steps > 0

@@ -14,6 +14,7 @@ high-order-bit range partitioning (Sort) has a known universe.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List
 
 import numpy as np
@@ -64,8 +65,10 @@ class ScanWorkload:
     search_key: int
     key_space_bits: int
 
-    @property
+    @cached_property
     def total_tuples(self) -> int:
+        """Total tuples, summed once and cached (partition lists are
+        frozen with the dataclass, so the sum can never go stale)."""
         return sum(len(p) for p in self.partitions)
 
 
@@ -76,8 +79,10 @@ class SortWorkload:
     partitions: List[Relation]
     key_space_bits: int
 
-    @property
+    @cached_property
     def total_tuples(self) -> int:
+        """Total tuples, summed once and cached (partition lists are
+        frozen with the dataclass, so the sum can never go stale)."""
         return sum(len(p) for p in self.partitions)
 
 
@@ -93,8 +98,10 @@ class GroupByWorkload:
     key_space_bits: int
     avg_group_size: float
 
-    @property
+    @cached_property
     def total_tuples(self) -> int:
+        """Total tuples, summed once and cached (partition lists are
+        frozen with the dataclass, so the sum can never go stale)."""
         return sum(len(p) for p in self.partitions)
 
 
@@ -106,17 +113,16 @@ class JoinWorkload:
     s_partitions: List[Relation]
     key_space_bits: int
 
-    @property
+    @cached_property
     def total_tuples(self) -> int:
-        return sum(len(p) for p in self.r_partitions) + sum(
-            len(p) for p in self.s_partitions
-        )
+        """Cached: see the note on :attr:`ScanWorkload.total_tuples`."""
+        return self.n_r + self.n_s
 
-    @property
+    @cached_property
     def n_r(self) -> int:
         return sum(len(p) for p in self.r_partitions)
 
-    @property
+    @cached_property
     def n_s(self) -> int:
         return sum(len(p) for p in self.s_partitions)
 

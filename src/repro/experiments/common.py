@@ -20,14 +20,25 @@ keeps per-partition working sets far beyond every cache level, as in the
 paper.  ``run_all --fast`` and the test suite use 500x, which preserves
 all qualitative orderings.
 
-:class:`ResultMatrix` memoizes (system, operator) -> result so the
-experiment modules can share runs; :func:`format_table` is the one ASCII
+**Shared experiment runtime.**  Workload generation and functional
+operator runs are memoized in module-level, *content-keyed* caches: the
+key spells out everything that determines the result bytes (operator,
+functional tuple count, seed, partition count; plus system preset and
+model scale for results), so fig6/fig7/fig8/fig9/table5 -- which all
+evaluate overlapping (system, operator) pairs -- compute each pair once
+per process instead of once per figure.  ``run_all --no-cache`` (or
+:func:`set_cache_enabled`) restores the recompute-everything behaviour,
+and ``run_all --jobs N`` runs experiment sections in a process pool
+(each worker holds its own cache).
+
+:class:`ResultMatrix` keeps its (system, operator) -> result interface
+on top of the shared caches; :func:`format_table` is the one ASCII
 table style used by every report, including the pipeline subsystem's.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.analytics.workload import (
     make_groupby_workload,
@@ -69,8 +80,56 @@ ALL_SYSTEMS = (
 OPERATORS = ("scan", "sort", "groupby", "join")
 
 
-def make_workload(operator: str, seed: int = 17, num_partitions: int = NUM_PARTITIONS):
-    """Default workload for one operator."""
+# ---------------------------------------------------------------------------
+# Shared, content-keyed caches (per process).
+# ---------------------------------------------------------------------------
+
+_WORKLOAD_CACHE: Dict[Tuple, Any] = {}
+_RESULT_CACHE: Dict[Tuple, SystemResult] = {}
+_CACHE_ENABLED = True
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Toggle the shared caches; returns the previous setting."""
+    global _CACHE_ENABLED
+    previous = _CACHE_ENABLED
+    _CACHE_ENABLED = bool(enabled)
+    return previous
+
+
+def cache_enabled() -> bool:
+    return _CACHE_ENABLED
+
+
+def clear_caches() -> None:
+    """Drop all memoized workloads, results and machine singletons."""
+    from repro.systems.machine import clear_machine_cache
+
+    _WORKLOAD_CACHE.clear()
+    _RESULT_CACHE.clear()
+    _CACHE_STATS["hits"] = 0
+    _CACHE_STATS["misses"] = 0
+    clear_machine_cache()
+
+
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss counters across both caches (for reports and tests)."""
+    return dict(_CACHE_STATS)
+
+
+def _cache_get(cache: Dict[Tuple, Any], key: Tuple, build):
+    if not _CACHE_ENABLED:
+        return build()
+    if key in cache:
+        _CACHE_STATS["hits"] += 1
+    else:
+        _CACHE_STATS["misses"] += 1
+        cache[key] = build()
+    return cache[key]
+
+
+def _build_workload(operator: str, seed: int, num_partitions: int):
     if operator == "scan":
         return make_scan_workload(FUNCTIONAL_N["scan"], num_partitions, seed)
     if operator == "sort":
@@ -83,8 +142,72 @@ def make_workload(operator: str, seed: int = 17, num_partitions: int = NUM_PARTI
     raise ValueError(f"unknown operator {operator!r}")
 
 
+def make_workload(operator: str, seed: int = 17, num_partitions: int = NUM_PARTITIONS):
+    """Default workload for one operator, memoized by content key.
+
+    The key covers everything the generated bytes depend on -- operator,
+    functional size, seed, partition count -- so every experiment module
+    asking for the same relation shares one materialization.  Workloads
+    are frozen dataclasses and operators never mutate their inputs
+    (property-tested), which is what makes the sharing sound.
+    """
+    if operator not in FUNCTIONAL_N:
+        raise ValueError(f"unknown operator {operator!r}")
+    key = ("workload", operator, FUNCTIONAL_N[operator], seed, num_partitions)
+    return _cache_get(
+        _WORKLOAD_CACHE, key, lambda: _build_workload(operator, seed, num_partitions)
+    )
+
+
+def run_cached_result(
+    system: str,
+    operator: str,
+    scale: float,
+    seed: int = 17,
+    num_partitions: int = NUM_PARTITIONS,
+    workload: Any = None,
+) -> SystemResult:
+    """Functionally run + cost one (system, operator) pair, memoized.
+
+    The content key adds the system preset name and the model scale to
+    the workload key; results are immutable to their consumers (the
+    figure modules only read them), so sharing one
+    :class:`~repro.perf.result.SystemResult` across figures is safe.
+
+    ``workload`` lets a caller that already holds the (seed,
+    num_partitions) workload -- e.g. a :class:`ResultMatrix` running
+    with the shared caches disabled -- supply it instead of having
+    :func:`make_workload` rebuild it per system.
+    """
+    key = (
+        "result",
+        system,
+        operator,
+        FUNCTIONAL_N.get(operator),
+        float(scale),
+        seed,
+        num_partitions,
+    )
+
+    def build() -> SystemResult:
+        machine = build_system(system)
+        return machine.run_operator(
+            operator,
+            workload if workload is not None
+            else make_workload(operator, seed, num_partitions),
+            scale_factor=scale,
+        )
+
+    return _cache_get(_RESULT_CACHE, key, build)
+
+
 class ResultMatrix:
-    """Runs and caches (system, operator) -> SystemResult."""
+    """Runs and caches (system, operator) -> SystemResult.
+
+    A thin view over the shared content-keyed caches: two matrices with
+    the same scale/seed/partition parameters (e.g. fig7's and fig9's)
+    share workloads, machines and results.
+    """
 
     def __init__(
         self,
@@ -120,9 +243,13 @@ class ResultMatrix:
     def result(self, system: str, operator: str) -> SystemResult:
         key = (system, operator)
         if key not in self._cache:
-            machine = build_system(system)
-            self._cache[key] = machine.run_operator(
-                operator, self.workload(operator), scale_factor=self._scale
+            self._cache[key] = run_cached_result(
+                system,
+                operator,
+                self._scale,
+                self._seed,
+                self._num_partitions,
+                workload=self.workload(operator),
             )
         return self._cache[key]
 

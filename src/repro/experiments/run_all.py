@@ -4,11 +4,17 @@ Usage::
 
     python -m repro.experiments.run_all               # full paper report
     python -m repro.experiments.run_all --fast        # reduced model scale
+    python -m repro.experiments.run_all --jobs 4      # sections in parallel
+    python -m repro.experiments.run_all --no-cache    # recompute everything
     python -m repro.experiments.run_all --pipelines   # query pipelines only
     python -m repro.experiments.run_all --fast --pipelines
 
 Without flags, prints each paper artifact's table in paper order, with
 the paper's values alongside where the experiment reports them.
+``--jobs N`` renders independent experiment sections in a process pool;
+the output is byte-identical to a sequential run (sections are collected
+and printed in paper order).  ``--no-cache`` disables the shared
+workload/result memoization (see ``repro.experiments.common``).
 ``--pipelines`` runs the multi-operator query-pipeline suite instead
 (per-stage time/energy breakdowns on CPU, NMP-perm and Mondrian); see
 ``docs/USAGE.md`` for the full flag reference.
@@ -18,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.experiments import (
     ablations,
@@ -33,26 +40,43 @@ from repro.experiments import (
     table2_phases,
     table5_partition,
 )
+from repro.experiments import common
 from repro.experiments.common import MODEL_SCALE
 
 #: Model scale used by ``--fast`` (full runs use ``MODEL_SCALE``).
 FAST_SCALE = 500.0
 
-SCALED = (
-    ("Table 5: partition speedup vs CPU", table5_partition),
-    ("Figure 6: probe speedup vs CPU", fig6_probe),
-    ("Figure 7: overall speedup vs CPU", fig7_overall),
-    ("Figure 8: energy breakdown", fig8_energy),
-    ("Figure 9: efficiency improvement vs CPU", fig9_efficiency),
+#: Section kinds: how a module's ``run()`` output is rendered.
+_UNSCALED = "unscaled"
+_SCALED = "scaled"
+_ABLATIONS = "ablations"
+
+#: The paper report, in paper order: (key, title, module, kind).
+SECTIONS = (
+    ("table1", "Table 1: Spark operator characterization", table1_operators, _UNSCALED),
+    ("table2", "Table 2: operator phases (measured)", table2_phases, _UNSCALED),
+    ("sec31", "Section 3.1: activation energy share", sec31_activation, _UNSCALED),
+    ("sec32", "Section 3.2: MLP-limited bandwidth", sec32_mlp, _UNSCALED),
+    (
+        "skew",
+        "Two-round partitioning under skew (future work)",
+        skew_partitioning,
+        _UNSCALED,
+    ),
+    ("table5", "Table 5: partition speedup vs CPU", table5_partition, _SCALED),
+    ("fig6", "Figure 6: probe speedup vs CPU", fig6_probe, _SCALED),
+    ("fig7", "Figure 7: overall speedup vs CPU", fig7_overall, _SCALED),
+    ("fig8", "Figure 8: energy breakdown", fig8_energy, _SCALED),
+    ("fig9", "Figure 9: efficiency improvement vs CPU", fig9_efficiency, _SCALED),
+    (
+        "ablations",
+        "Ablations: SIMD width / row buffer / FR-FCFS window",
+        ablations,
+        _ABLATIONS,
+    ),
 )
 
-UNSCALED = (
-    ("Table 1: Spark operator characterization", table1_operators),
-    ("Table 2: operator phases (measured)", table2_phases),
-    ("Section 3.1: activation energy share", sec31_activation),
-    ("Section 3.2: MLP-limited bandwidth", sec32_mlp),
-    ("Two-round partitioning under skew (future work)", skew_partitioning),
-)
+_SECTION_INDEX = {key: (title, module, kind) for key, title, module, kind in SECTIONS}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
              f"{MODEL_SCALE:.0f}x)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent experiment sections of the paper report in "
+             "a pool of N worker processes; output stays in paper order "
+             "and is identical to a --jobs 1 run (no effect with "
+             "--pipelines, which is a single section)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared workload/result memoization and "
+             "recompute every (system, operator) pair per section",
+    )
+    parser.add_argument(
         "--pipelines", action="store_true",
         help="run the multi-operator query-pipeline suite (per-stage "
              "time/energy breakdowns on CPU, NMP-perm and Mondrian) "
@@ -75,40 +111,67 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _banner(title: str) -> None:
-    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+def _banner(title: str) -> str:
+    return f"\n{'=' * 72}\n{title}\n{'=' * 72}"
 
 
-def run_paper_report(scale: float) -> None:
-    """The paper-artifact report (default mode)."""
-    for title, module in UNSCALED:
-        _banner(title)
-        print(module.run()["table"])
+def render_section(key: str, scale: float) -> str:
+    """One section's complete stdout text (banner included).
 
-    for title, module in SCALED:
-        _banner(title)
+    Pure function of (key, scale) plus the seeded experiment modules, so
+    sections can render in worker processes and still concatenate into
+    the exact sequential report.
+    """
+    title, module, kind = _SECTION_INDEX[key]
+    if kind == _UNSCALED:
+        return f"{_banner(title)}\n{module.run()['table']}"
+    if kind == _SCALED:
         out = module.run(scale=scale)
-        print(out["table"])
+        text = f"{_banner(title)}\n{out['table']}"
         if "mondrian_peak" in out:
-            print(f"\nMondrian peak: {out['mondrian_peak']:.1f}x")
+            text += f"\n\nMondrian peak: {out['mondrian_peak']:.1f}x"
+        return text
+    out = module.run(scale=scale)
+    return (
+        f"{_banner(title)}\n{out['simd_table']}\n\n"
+        f"{out['row_buffer_table']}\n\n{out['window_table']}"
+    )
 
-    _banner("Ablations: SIMD width / row buffer / FR-FCFS window")
-    out = ablations.run(scale=scale)
-    print(out["simd_table"])
-    print()
-    print(out["row_buffer_table"])
-    print()
-    print(out["window_table"])
+
+def _render_worker(payload) -> str:
+    """Process-pool entry point: (key, scale, use_cache) -> section text."""
+    key, scale, use_cache = payload
+    common.set_cache_enabled(use_cache)
+    return render_section(key, scale)
+
+
+def run_paper_report(scale: float, jobs: int = 1) -> None:
+    """The paper-artifact report (default mode)."""
+    keys = [key for key, _, _, _ in SECTIONS]
+    if jobs > 1:
+        payloads = [(key, scale, common.cache_enabled()) for key in keys]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for text in pool.map(_render_worker, payloads):
+                print(text)
+    else:
+        # Print as each section completes: the report streams, and a
+        # mid-report failure still leaves the finished sections visible.
+        for key in keys:
+            print(render_section(key, scale))
 
 
 def run_pipeline_report(scale: float) -> None:
     """The query-pipeline suite (``--pipelines``)."""
-    _banner("Query pipelines: per-stage breakdowns, CPU vs NMP vs Mondrian")
+    print(_banner("Query pipelines: per-stage breakdowns, CPU vs NMP vs Mondrian"))
     print(pipeline_queries.run(scale=scale)["table"])
 
 
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.no_cache:
+        common.set_cache_enabled(False)
     scale = FAST_SCALE if args.fast else MODEL_SCALE
 
     start = time.time()
@@ -118,7 +181,7 @@ def main(argv=None) -> None:
     if args.pipelines:
         run_pipeline_report(scale)
     else:
-        run_paper_report(scale)
+        run_paper_report(scale, jobs=args.jobs)
 
     print(f"\nDone in {time.time() - start:.1f}s.")
 

@@ -32,7 +32,11 @@ from repro.memctrl.permutable import (
     PermutableWriteEngine,
     ShuffleBarrier,
 )
-from repro.shuffle.interleave import round_robin_interleave
+from repro.shuffle.interleave import (
+    ArrivalOrder,
+    round_robin_interleave,
+    stream_starts,
+)
 
 
 @dataclass
@@ -61,7 +65,8 @@ class ShuffleEngine:
         num_destinations: int,
         object_b: int = TUPLE_B,
         permutable: bool = False,
-        interleave: Callable[[Sequence[int]], List[Tuple[int, int]]] = round_robin_interleave,
+        interleave: Callable[[Sequence[int]], ArrivalOrder] = round_robin_interleave,
+        vectorized: bool = True,
     ) -> None:
         if num_destinations < 1:
             raise ValueError("need at least one destination")
@@ -71,6 +76,9 @@ class ShuffleEngine:
         self._object_b = object_b
         self._permutable = permutable
         self._interleave = interleave
+        # ``vectorized=False`` selects the per-tuple reference loop; the
+        # equivalence suite pins the two paths byte-identical.
+        self._vectorized = vectorized
 
     @property
     def permutable(self) -> bool:
@@ -157,9 +165,75 @@ class ShuffleEngine:
         barrier: ShuffleBarrier,
         overprovision: float,
     ) -> Tuple[Relation, np.ndarray, np.ndarray]:
+        if self._vectorized:
+            return self._materialize_vectorized(
+                dest, inbound_streams, src_offsets, barrier, overprovision
+            )
+        return self._materialize_scalar(
+            dest, inbound_streams, src_offsets, barrier, overprovision
+        )
+
+    def _materialize_vectorized(
+        self,
+        dest: int,
+        inbound_streams: List[np.ndarray],
+        src_offsets: List[int],
+        barrier: ShuffleBarrier,
+        overprovision: float,
+    ) -> Tuple[Relation, np.ndarray, np.ndarray]:
+        """Array-native materialization: the whole arrival loop becomes a
+        handful of fancy-indexing operations.
+
+        ``flat`` maps arrival order to positions in the concatenation of
+        the inbound streams; the permutable path writes arrivals at the
+        sequential tail (one :meth:`PermutableWriteEngine.write_batch`),
+        the addressed path scatters them to their exact histogram slots.
+        """
+        hist = np.array([len(s) for s in inbound_streams], dtype=np.int64)
+        total = int(hist.sum())
+        src_arr, idx_arr = self._interleave(hist)
+        starts = stream_starts(hist)
+        concat = (
+            np.concatenate(inbound_streams)
+            if inbound_streams
+            else np.empty(0, dtype=TUPLE_DTYPE)
+        )
+        offsets = np.asarray(src_offsets, dtype=np.int64)
+        flat = starts[src_arr] + idx_arr
+
+        if self._permutable:
+            capacity = max(1, int(np.ceil(total * overprovision)))
+            engine = PermutableWriteEngine(
+                PermutableRegionConfig(
+                    base=0, size_b=capacity * self._object_b, object_b=self._object_b
+                )
+            )
+            trace = engine.write_batch(
+                count=total,
+                marked_addrs=offsets[src_arr] * self._object_b,
+            )
+            buffer = concat[flat]
+        else:
+            slots = offsets[src_arr] + idx_arr
+            trace = slots * self._object_b
+            buffer = np.empty(total, dtype=TUPLE_DTYPE)
+            buffer[slots] = concat[flat]
+        barrier.deliver_batch(dest, total * TUPLE_B)
+        return Relation(buffer, f"shuffle_dest/{dest}"), trace, hist
+
+    def _materialize_scalar(
+        self,
+        dest: int,
+        inbound_streams: List[np.ndarray],
+        src_offsets: List[int],
+        barrier: ShuffleBarrier,
+        overprovision: float,
+    ) -> Tuple[Relation, np.ndarray, np.ndarray]:
+        """Per-tuple reference loop (the seed implementation), kept so the
+        equivalence suite can pin the vectorized path against it."""
         lengths = [len(s) for s in inbound_streams]
         total = sum(lengths)
-        arrival = self._interleave(lengths)
+        arrival = list(zip(*self._interleave(lengths)))
         hist = np.array(lengths, dtype=np.int64)
 
         if self._permutable:

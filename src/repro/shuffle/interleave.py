@@ -10,48 +10,82 @@ sources is a property of the memory network.  Two models:
   adversarial arrival order.  Row-buffer locality at the destination is
   equally destroyed; permutability is insensitive to the model (a
   property the test suite checks).
+
+Both return the arrival order as a pair of parallel int64 index arrays
+``(sources, indices)`` -- arrival ``k`` is element ``indices[k]`` of
+stream ``sources[k]`` -- rather than a Python list of tuples, so the
+shuffle engine can materialize destination buffers with single
+fancy-indexing operations instead of a million-iteration loop.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
+#: Arrival order: parallel ``(sources, indices)`` int64 arrays.
+ArrivalOrder = Tuple[np.ndarray, np.ndarray]
 
-def round_robin_interleave(stream_lengths: Sequence[int]) -> List[Tuple[int, int]]:
-    """Arrival order of ``(source, element_index)`` pairs, round-robin.
+
+def _empty_order() -> ArrivalOrder:
+    return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+
+def stream_starts(lengths: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum: start of each stream in the concatenation.
+
+    Shared with the shuffle engine, which uses the same offsets to map
+    arrival order into the concatenated inbound streams."""
+    starts = np.zeros(len(lengths), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=starts[1:])
+    return starts
+
+
+def round_robin_interleave(stream_lengths: Sequence[int]) -> ArrivalOrder:
+    """Arrival order of ``(sources, indices)`` arrays, round-robin.
 
     Sources with exhausted streams drop out of the rotation, matching a
     network where every source injects at the same rate until done.
+    Equivalently: element ``(src, idx)`` arrives in round ``idx``, and
+    rounds drain in source order -- so the arrival order is a stable
+    sort of all elements by ``(idx, src)``.
     """
-    order: List[Tuple[int, int]] = []
-    positions = [0] * len(stream_lengths)
-    remaining = sum(stream_lengths)
-    while remaining:
-        for src, length in enumerate(stream_lengths):
-            if positions[src] < length:
-                order.append((src, positions[src]))
-                positions[src] += 1
-                remaining -= 1
-    return order
+    lengths = np.asarray(stream_lengths, dtype=np.int64)
+    total = int(lengths.sum()) if len(lengths) else 0
+    if total == 0:
+        return _empty_order()
+    sources = np.repeat(np.arange(len(lengths), dtype=np.int64), lengths)
+    indices = np.arange(total, dtype=np.int64) - np.repeat(
+        stream_starts(lengths), lengths
+    )
+    order = np.lexsort((sources, indices))
+    return sources[order], indices[order]
 
 
 def random_interleave(
     stream_lengths: Sequence[int], seed: int = 0
-) -> List[Tuple[int, int]]:
+) -> ArrivalOrder:
     """Arrival order under randomized source progress.
 
     Per-source FIFO order is preserved (networks do not reorder a single
     flow here); the merge order across sources is uniformly random.
     """
+    lengths = np.asarray(stream_lengths, dtype=np.int64)
+    total = int(lengths.sum()) if len(lengths) else 0
+    if total == 0:
+        return _empty_order()
     rng = np.random.default_rng(seed)
-    tokens = np.repeat(np.arange(len(stream_lengths)), stream_lengths)
-    rng.shuffle(tokens)
-    positions = [0] * len(stream_lengths)
-    order: List[Tuple[int, int]] = []
-    for src in tokens:
-        src = int(src)
-        order.append((src, positions[src]))
-        positions[src] += 1
-    return order
+    sources = np.repeat(np.arange(len(stream_lengths)), stream_lengths)
+    rng.shuffle(sources)
+    sources = sources.astype(np.int64, copy=False)
+    # Per-source running index: group the arrivals by source (stable, so
+    # FIFO order within a source survives), number each group 0..len-1,
+    # and scatter those numbers back to arrival positions.
+    by_source = np.argsort(sources, kind="stable")
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        stream_starts(lengths), lengths
+    )
+    indices = np.empty(total, dtype=np.int64)
+    indices[by_source] = within
+    return sources, indices

@@ -19,6 +19,7 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import functools
 from typing import Any, Dict, Optional
 
 from repro.config.system import SystemConfig, get_preset
@@ -140,9 +141,30 @@ def _workload_partitions(workload: Any) -> int:
     raise TypeError(f"cannot infer partition count from {type(workload).__name__}")
 
 
-def build_system(preset: str) -> Machine:
-    """Construct a machine from a named preset (see ``preset_names()``)."""
+@functools.lru_cache(maxsize=None)
+def _preset_machine(preset: str) -> Machine:
     return Machine(get_preset(preset))
+
+
+def build_system(preset: str, fresh: bool = False) -> Machine:
+    """Machine for a named preset (see ``preset_names()``).
+
+    Machines are stateless across ``run_operator``/``run_pipeline``
+    calls (the evaluator and energy model are pure functions of the
+    phase; accumulators are created per call), so by default the same
+    per-preset instance is returned every time -- topology and core-model
+    construction leave the hot path.  Pass ``fresh=True`` to force a new
+    instance (e.g. to mutate its config in tests).
+    """
+    if fresh:
+        return Machine(get_preset(preset))
+    return _preset_machine(preset)
+
+
+def clear_machine_cache() -> None:
+    """Drop the per-preset machine singletons (benchmarks use this so
+    each timed run includes machine construction, as the seed did)."""
+    _preset_machine.cache_clear()
 
 
 def run_all_systems(

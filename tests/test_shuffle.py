@@ -21,29 +21,45 @@ def relation(keys, name="r"):
     )
 
 
+def arrival_pairs(order):
+    """(sources, indices) arrays -> list of (src, idx) tuples."""
+    sources, indices = order
+    return list(zip(sources.tolist(), indices.tolist()))
+
+
 class TestInterleave:
     def test_round_robin_order(self):
-        order = round_robin_interleave([2, 2])
-        assert order == [(0, 0), (1, 0), (0, 1), (1, 1)]
+        assert arrival_pairs(round_robin_interleave([2, 2])) == [
+            (0, 0), (1, 0), (0, 1), (1, 1)
+        ]
 
     def test_round_robin_uneven(self):
-        order = round_robin_interleave([3, 1])
-        assert order == [(0, 0), (1, 0), (0, 1), (0, 2)]
+        assert arrival_pairs(round_robin_interleave([3, 1])) == [
+            (0, 0), (1, 0), (0, 1), (0, 2)
+        ]
 
     def test_round_robin_total(self):
-        lengths = [5, 0, 3, 7]
-        order = round_robin_interleave(lengths)
-        assert len(order) == 15
+        sources, indices = round_robin_interleave([5, 0, 3, 7])
+        assert len(sources) == len(indices) == 15
+        assert sources.dtype == np.int64 and indices.dtype == np.int64
+
+    def test_round_robin_empty(self):
+        sources, indices = round_robin_interleave([])
+        assert len(sources) == 0 and len(indices) == 0
 
     def test_random_preserves_per_source_fifo(self):
-        order = random_interleave([10, 10], seed=3)
+        order = arrival_pairs(random_interleave([10, 10], seed=3))
         for src in (0, 1):
             idxs = [i for s, i in order if s == src]
             assert idxs == sorted(idxs)
 
     def test_random_deterministic_by_seed(self):
-        assert random_interleave([5, 5], seed=1) == random_interleave([5, 5], seed=1)
-        assert random_interleave([5, 5], seed=1) != random_interleave([5, 5], seed=2)
+        assert arrival_pairs(random_interleave([5, 5], seed=1)) == arrival_pairs(
+            random_interleave([5, 5], seed=1)
+        )
+        assert arrival_pairs(random_interleave([5, 5], seed=1)) != arrival_pairs(
+            random_interleave([5, 5], seed=2)
+        )
 
 
 class TestShuffleEngine:

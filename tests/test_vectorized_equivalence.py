@@ -1,0 +1,253 @@
+"""Equivalence suite: the vectorized hot paths are byte-identical to the
+seed's scalar reference implementations.
+
+The vectorized shuffle engine (fancy-indexed materialization, batched
+permutable writes, one barrier update per destination) and the
+vectorized merge pass are performance rewrites of per-tuple loops; this
+suite pins them against the retained scalar paths across sizes, skew
+settings, interleave models and write disciplines -- destinations,
+write traces, inbound histograms and barrier state all included -- and
+checks that the parallel experiment runtime (``run_all --jobs N``)
+reproduces the sequential report exactly.
+"""
+
+import os
+import subprocess
+import sys
+from functools import partial
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analytics.tuples import TUPLE_DTYPE, Relation
+from repro.memctrl.permutable import (
+    PermutableRegionConfig,
+    PermutableWriteEngine,
+    ShuffleBarrier,
+)
+from repro.operators.sort_algos import merge_pass, merge_pass_scalar, mergesort
+from repro.shuffle.engine import ShuffleEngine
+from repro.shuffle.interleave import random_interleave, round_robin_interleave
+
+ROOT = Path(__file__).resolve().parents[1]
+
+
+def make_sources(rng, num_src, num_dest, n_per_src, skew):
+    """Random relations plus destination maps, optionally skewed.
+
+    ``skew`` concentrates destination popularity (a Dirichlet draw with
+    small alpha), the regime where per-destination inbound sizes are
+    maximally unequal -- the interesting case for the interleave and
+    cursor logic.
+    """
+    sources, dest_maps = [], []
+    for s in range(num_src):
+        n = int(rng.integers(0, n_per_src)) if n_per_src else 0
+        keys = rng.integers(0, 1 << 40, n, dtype=np.uint64)
+        sources.append(Relation.from_arrays(keys, keys * np.uint64(7), f"s{s}"))
+        if skew and num_dest > 1:
+            weights = rng.dirichlet(np.full(num_dest, 0.25))
+            dest_maps.append(rng.choice(num_dest, size=n, p=weights).astype(np.int64))
+        else:
+            dest_maps.append(rng.integers(0, num_dest, n).astype(np.int64))
+    return sources, dest_maps
+
+
+def assert_shuffles_identical(vec, ref):
+    for d in range(len(vec.destinations)):
+        assert np.array_equal(vec.destinations[d].data, ref.destinations[d].data)
+        assert np.array_equal(vec.write_traces[d], ref.write_traces[d])
+        assert vec.write_traces[d].dtype == ref.write_traces[d].dtype
+        assert np.array_equal(vec.inbound_histograms[d], ref.inbound_histograms[d])
+    assert vec.barrier.completion_vector() == ref.barrier.completion_vector()
+    for d in range(vec.barrier.num_vaults):
+        assert vec.barrier.expected_bytes(d) == ref.barrier.expected_bytes(d)
+
+
+class TestShuffleEquivalence:
+    @pytest.mark.parametrize("permutable", [False, True])
+    @pytest.mark.parametrize("skew", [False, True])
+    @pytest.mark.parametrize("n_per_src", [8, 200, 2000])
+    def test_vectorized_matches_scalar(self, permutable, skew, n_per_src):
+        rng = np.random.default_rng(n_per_src + 31 * skew)
+        sources, dest_maps = make_sources(rng, num_src=5, num_dest=8,
+                                          n_per_src=n_per_src, skew=skew)
+        vec = ShuffleEngine(8, permutable=permutable).run(sources, dest_maps)
+        ref = ShuffleEngine(8, permutable=permutable, vectorized=False).run(
+            sources, dest_maps
+        )
+        assert_shuffles_identical(vec, ref)
+
+    @pytest.mark.parametrize("permutable", [False, True])
+    def test_random_interleave_model(self, permutable):
+        rng = np.random.default_rng(7)
+        sources, dest_maps = make_sources(rng, 4, 6, 400, skew=True)
+        interleave = partial(random_interleave, seed=11)
+        vec = ShuffleEngine(6, permutable=permutable, interleave=interleave).run(
+            sources, dest_maps
+        )
+        ref = ShuffleEngine(
+            6, permutable=permutable, interleave=interleave, vectorized=False
+        ).run(sources, dest_maps)
+        assert_shuffles_identical(vec, ref)
+
+    def test_overprovisioned_buffers(self):
+        rng = np.random.default_rng(3)
+        sources, dest_maps = make_sources(rng, 3, 4, 300, skew=False)
+        for over in (1.0, 1.5, 3.0):
+            vec = ShuffleEngine(4, permutable=True).run(sources, dest_maps, over)
+            ref = ShuffleEngine(4, permutable=True, vectorized=False).run(
+                sources, dest_maps, over
+            )
+            assert_shuffles_identical(vec, ref)
+
+    def test_empty_and_single_destination(self):
+        empty = Relation.empty("e")
+        for permutable in (False, True):
+            vec = ShuffleEngine(1, permutable=permutable).run(
+                [empty], [np.empty(0, dtype=np.int64)]
+            )
+            ref = ShuffleEngine(1, permutable=permutable, vectorized=False).run(
+                [empty], [np.empty(0, dtype=np.int64)]
+            )
+            assert_shuffles_identical(vec, ref)
+
+
+class TestWriteBatch:
+    def config(self, objects=8, object_b=16):
+        return PermutableRegionConfig(base=64, size_b=objects * object_b,
+                                      object_b=object_b)
+
+    def test_matches_scalar_writes(self):
+        batch = PermutableWriteEngine(self.config())
+        scalar = PermutableWriteEngine(self.config())
+        addrs = batch.write_batch(payloads=["a", "b", "c"])
+        expected = [scalar.write(p) for p in ("a", "b", "c")]
+        assert addrs.tolist() == expected
+        assert batch.drain() == scalar.drain()
+        assert batch.bytes_written == scalar.bytes_written
+
+    def test_count_only_batch(self):
+        engine = PermutableWriteEngine(self.config())
+        addrs = engine.write_batch(count=4, marked_addrs=np.full(4, 64))
+        assert addrs.tolist() == [64, 80, 96, 112]
+        assert engine.objects_written == 4
+
+    def test_batch_overflow_fills_then_raises(self):
+        engine = PermutableWriteEngine(self.config(objects=3))
+        with pytest.raises(MemoryError):
+            engine.write_batch(count=5)
+        # Same state a scalar loop leaves: buffer full, flag raised.
+        assert engine.objects_written == 3
+        assert engine.overflowed
+
+    def test_batch_rejects_out_of_region_marks(self):
+        engine = PermutableWriteEngine(self.config())
+        with pytest.raises(ValueError):
+            engine.write_batch(count=2, marked_addrs=np.array([64, 4096]))
+        with pytest.raises(ValueError):
+            engine.write_batch(payloads=["x"], count=2)
+
+    def test_empty_batch(self):
+        engine = PermutableWriteEngine(self.config())
+        assert engine.write_batch(count=0).tolist() == []
+        assert engine.objects_written == 0
+
+
+class TestBarrierFrozenTotals:
+    def test_expected_bytes_before_and_after_seal(self):
+        barrier = ShuffleBarrier(2)
+        barrier.announce(0, 1, 48)
+        assert barrier.expected_bytes(1) == 48  # pre-seal: live sum
+        barrier.announce(1, 1, 16)
+        assert barrier.expected_bytes(1) == 64
+        barrier.seal()
+        assert barrier.expected_bytes(1) == 64  # post-seal: frozen
+        with pytest.raises(RuntimeError):
+            barrier.announce(0, 0, 8)  # totals can never go stale
+
+    def test_deliver_batch_equals_repeated_deliver(self):
+        a, b = ShuffleBarrier(2), ShuffleBarrier(2)
+        for barrier in (a, b):
+            barrier.announce(0, 1, 64)
+            barrier.seal()
+        a.deliver_batch(1, 64)
+        for _ in range(4):
+            b.deliver(1, 16)
+        assert a.completion_vector() == b.completion_vector() == (True, True)
+
+    def test_deliver_batch_over_delivery_rejected(self):
+        barrier = ShuffleBarrier(1)
+        barrier.announce(0, 0, 16)
+        barrier.seal()
+        with pytest.raises(ValueError):
+            barrier.deliver_batch(0, 32)
+
+
+class TestMergePassEquivalence:
+    @staticmethod
+    def sorted_runs(rng, n, run_len, key_space=64):
+        data = np.empty(n, dtype=TUPLE_DTYPE)
+        data["key"] = rng.integers(0, key_space, n)  # narrow space: many dups
+        data["payload"] = rng.integers(0, 1 << 60, n)
+        for pos in range(0, n, run_len):
+            chunk = data[pos : pos + run_len]
+            data[pos : pos + run_len] = chunk[np.argsort(chunk["key"], kind="stable")]
+        return data
+
+    @pytest.mark.parametrize("n", [0, 1, 7, 64, 1000, 4097])
+    @pytest.mark.parametrize("run_len", [1, 3, 16, 64])
+    def test_vectorized_matches_scalar(self, n, run_len):
+        rng = np.random.default_rng(n + run_len)
+        data = self.sorted_runs(rng, n, run_len)
+        assert np.array_equal(merge_pass(data, run_len), merge_pass_scalar(data, run_len))
+
+    def test_max_key_values_survive_padding(self):
+        # Keys equal to the pad sentinel must still merge stably ahead
+        # of the pads (they appear earlier in the pair row).
+        data = np.empty(5, dtype=TUPLE_DTYPE)
+        data["key"] = [1, np.iinfo(np.uint64).max, 0, np.iinfo(np.uint64).max, 2]
+        data["payload"] = [10, 11, 12, 13, 14]
+        for run_len in (1, 2, 4):
+            arranged = data.copy()
+            for pos in range(0, len(arranged), run_len):
+                chunk = arranged[pos : pos + run_len]
+                arranged[pos : pos + run_len] = chunk[
+                    np.argsort(chunk["key"], kind="stable")
+                ]
+            assert np.array_equal(
+                merge_pass(arranged, run_len), merge_pass_scalar(arranged, run_len)
+            )
+
+    def test_full_mergesort_still_sorts(self):
+        rng = np.random.default_rng(5)
+        data = self.sorted_runs(rng, 3000, 1, key_space=1 << 40)
+        out, stats = mergesort(data)
+        assert np.array_equal(np.sort(out["key"]), out["key"])
+        assert stats.merge_passes == 12  # ceil(log2(3000))
+
+
+class TestParallelRunAll:
+    """``run_all --jobs N`` must reproduce the sequential report."""
+
+    @staticmethod
+    def run_report(*flags):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.run_all", "--fast", *flags],
+            capture_output=True,
+            text=True,
+            cwd=ROOT,
+            env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+        # Drop the wall-clock line; everything else must be stable.
+        return "\n".join(
+            line for line in proc.stdout.splitlines() if not line.startswith("Done in")
+        )
+
+    def test_jobs4_matches_jobs1(self):
+        assert self.run_report("--jobs", "1") == self.run_report("--jobs", "4")
+
+    def test_no_cache_matches_cached(self):
+        assert self.run_report() == self.run_report("--no-cache")
