@@ -7,11 +7,21 @@ export PYTHONPATH := src
 #: Current perf-trajectory point; bump per perf PR (BENCH_PR3.json, ...).
 BENCH_JSON ?= BENCH_PR2.json
 
-.PHONY: test docs-check report pipelines bench bench-compare
+.PHONY: test docs-check report pipelines sweep-smoke bench bench-compare
 
-## Tier-1 verification: full unit/integration/experiment + benchmark suite.
+## Tier-1 verification: full unit/integration/experiment + benchmark
+## suite, then the sweep-smoke golden check.
 test:
 	$(PY) -m pytest -x -q
+	$(MAKE) sweep-smoke
+
+## Scenario-API smoke test: run the committed 2x2 sweep grid (CPU +
+## a 32-core star-topology Mondrian the paper never measured) and diff
+## its ResultSet JSON against the committed golden file.
+sweep-smoke:
+	$(PY) -m repro.api --sweep tests/data/sweep_smoke.json --json - \
+	  | diff - tests/data/sweep_smoke_golden.json
+	@echo "sweep-smoke OK: ResultSet matches the committed golden file."
 
 ## Executable-documentation check: doctest every fenced code block in
 ## README.md and docs/, validate documented CLI flags against the real

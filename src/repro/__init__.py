@@ -19,9 +19,11 @@ evaluation depends on:
   (:mod:`repro.shuffle`);
 - the Table 4 energy model (:mod:`repro.energy`) and the paper's
   IPC-times-instructions performance model (:mod:`repro.perf`);
-- the six evaluated system configurations (:mod:`repro.systems`); and
+- the six evaluated system configurations (:mod:`repro.systems`);
 - one experiment driver per table/figure of the paper
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`); and
+- the declarative scenario API -- SystemSpec builders, Scenario/Sweep
+  grids and tidy ResultSet exports (:mod:`repro.api`).
 
 Quickstart::
 
@@ -38,6 +40,7 @@ from repro.version import __version__
 
 _SUBMODULES = (
     "analytics",
+    "api",
     "cache",
     "config",
     "cores",

@@ -65,6 +65,11 @@ class ScanWorkload:
     search_key: int
     key_space_bits: int
 
+    @property
+    def num_partitions(self) -> int:
+        """Memory partitions this workload was generated across."""
+        return len(self.partitions)
+
     @cached_property
     def total_tuples(self) -> int:
         """Total tuples, summed once and cached (partition lists are
@@ -78,6 +83,11 @@ class SortWorkload:
 
     partitions: List[Relation]
     key_space_bits: int
+
+    @property
+    def num_partitions(self) -> int:
+        """Memory partitions this workload was generated across."""
+        return len(self.partitions)
 
     @cached_property
     def total_tuples(self) -> int:
@@ -98,6 +108,11 @@ class GroupByWorkload:
     key_space_bits: int
     avg_group_size: float
 
+    @property
+    def num_partitions(self) -> int:
+        """Memory partitions this workload was generated across."""
+        return len(self.partitions)
+
     @cached_property
     def total_tuples(self) -> int:
         """Total tuples, summed once and cached (partition lists are
@@ -112,6 +127,12 @@ class JoinWorkload:
     r_partitions: List[Relation]
     s_partitions: List[Relation]
     key_space_bits: int
+
+    @property
+    def num_partitions(self) -> int:
+        """Memory partitions this workload was generated across (both
+        relations are split the same way)."""
+        return len(self.r_partitions)
 
     @cached_property
     def total_tuples(self) -> int:

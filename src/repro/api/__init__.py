@@ -1,0 +1,45 @@
+"""The scenario API: the declarative front door to the whole codebase.
+
+Compose arbitrary system configurations, single evaluation points, and
+cartesian parameter sweeps without touching the per-figure plumbing:
+
+- :class:`SystemSpec` derives validated custom
+  :class:`~repro.config.system.SystemConfig` objects from any preset --
+  core model/count, SIMD width, partition scheme, probe algorithm,
+  topology, HMC geometry, DRAM timing, interleave model -- so hardware
+  points the paper never measured are one expression away.
+- :class:`Scenario` pairs a system with a workload (basic operator or
+  canonical multi-operator query), a model scale and workload
+  parameters, and evaluates it through the shared content-keyed caches.
+- :class:`Sweep` runs a cartesian grid of scenarios (optionally across
+  a process pool) into a :class:`ResultSet` of tidy
+  per-phase/per-energy-component records with JSON/CSV export,
+  filtering and pivoting.
+
+Command line: ``python -m repro.api --sweep SPEC.json`` (see
+``docs/USAGE.md``), also reachable as ``run_all --sweep SPEC.json``.
+
+>>> from repro.api import SystemSpec, Scenario
+>>> spec = SystemSpec("mondrian").with_cores(32).with_topology("star")
+>>> result = Scenario(spec, "join", model_scale=50.0,
+...                   num_partitions=8).result()
+>>> result.runtime_s > 0
+True
+"""
+
+from repro.api.results import ResultSet, format_table
+from repro.api.scenario import Scenario, records_from_result, run_plan
+from repro.api.spec import CORE_MODELS, SystemSpec, as_spec
+from repro.api.sweep import Sweep
+
+__all__ = [
+    "CORE_MODELS",
+    "ResultSet",
+    "Scenario",
+    "Sweep",
+    "SystemSpec",
+    "as_spec",
+    "format_table",
+    "records_from_result",
+    "run_plan",
+]

@@ -1,0 +1,169 @@
+"""Command-line sweep runner: ``python -m repro.api``.
+
+Usage::
+
+    python -m repro.api --sweep SPEC.json                # grid from a file
+    python -m repro.api --sweep SPEC.json --jobs 4       # process pool
+    python -m repro.api --sweep SPEC.json --json out.json --csv out.csv
+    python -m repro.api --system mondrian --system cpu \\
+        --workload join --scale 500                      # inline 2x1 grid
+
+``SPEC.json`` holds a :class:`~repro.api.sweep.Sweep` grid::
+
+    {
+      "systems": ["cpu", {"base": "mondrian", "num_cores": 32,
+                          "topology": "star"}],
+      "workloads": ["scan", "join"],
+      "scales": [500.0],
+      "seeds": [17],
+      "num_partitions": [64]
+    }
+
+Systems are preset names or SystemSpec override dicts.  Without
+``--json``/``--csv`` the records print as a fixed-width summary table;
+``--json -`` / ``--csv -`` write the export to stdout instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.api.results import format_table
+from repro.api.sweep import Sweep
+from repro.experiments import common
+
+#: Columns of the human-readable summary table (full records keep more).
+SUMMARY_COLUMNS = (
+    "system",
+    "workload",
+    "phase",
+    "scale",
+    "time_s",
+    "energy_j",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The sweep CLI (kept separate so tooling can inspect the flags)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.api",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--sweep", metavar="SPEC.json",
+        help="run the sweep grid described by this JSON file",
+    )
+    parser.add_argument(
+        "--system", action="append", default=None, metavar="NAME",
+        help="inline grid: add a system preset (repeatable; ignored with "
+             "--sweep)",
+    )
+    parser.add_argument(
+        "--workload", action="append", default=None, metavar="NAME",
+        help="inline grid: add an operator or canonical query (repeatable)",
+    )
+    parser.add_argument(
+        "--scale", type=float, action="append", default=None, metavar="X",
+        help=f"inline grid: add a model scale (default "
+             f"{common.MODEL_SCALE:.0f}x; repeatable)",
+    )
+    parser.add_argument(
+        "--seed", type=int, action="append", default=None, metavar="N",
+        help="inline grid: add a workload seed (default 17; repeatable)",
+    )
+    parser.add_argument(
+        "--partitions", type=int, action="append", default=None, metavar="N",
+        help=f"inline grid: add a partition count (default "
+             f"{common.NUM_PARTITIONS}; repeatable)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="evaluate scenarios in a pool of N worker processes "
+             "(records stay in grid order; exports are byte-identical "
+             "to --jobs 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared workload/result memoization",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the ResultSet as JSON records to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--csv", metavar="PATH",
+        help="write the ResultSet as CSV to PATH ('-' for stdout)",
+    )
+    return parser
+
+
+def _build_sweep(args) -> Sweep:
+    if args.sweep:
+        return Sweep.from_json(Path(args.sweep).read_text())
+    grid = {}
+    if args.system:
+        grid["systems"] = tuple(args.system)
+    if args.workload:
+        grid["workloads"] = tuple(args.workload)
+    if args.scale:
+        grid["scales"] = tuple(args.scale)
+    if args.seed:
+        grid["seeds"] = tuple(args.seed)
+    if args.partitions:
+        grid["num_partitions"] = tuple(args.partitions)
+    if not grid:
+        raise SystemExit(
+            "nothing to run: pass --sweep SPEC.json or at least one inline "
+            "axis (--system/--workload/...)"
+        )
+    return Sweep(**grid)
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.no_cache:
+        common.set_cache_enabled(False)
+
+    sweep = _build_sweep(args)
+    results = sweep.run(jobs=args.jobs)
+
+    exported = False
+    if args.json:
+        text = results.to_json()
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n")
+            print(f"wrote {len(results)} records to {args.json}", file=sys.stderr)
+        exported = True
+    if args.csv:
+        text = results.to_csv()
+        if args.csv == "-":
+            sys.stdout.write(text)
+        else:
+            Path(args.csv).write_text(text)
+            print(f"wrote {len(results)} records to {args.csv}", file=sys.stderr)
+        exported = True
+    if not exported:
+        print(f"Sweep: {sweep.size} scenarios -> {len(results)} records\n")
+        rows = [
+            [
+                r["system"],
+                r["workload"],
+                (f"{r['stage']}/" if r.get("stage") else "") + r["phase"],
+                f"{r['scale']:.0f}x",
+                f"{r['time_s'] * 1e3:.3f} ms",
+                f"{r['energy_j']:.4f} J",
+            ]
+            for r in results
+        ]
+        print(format_table(list(SUMMARY_COLUMNS), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,8 @@ from repro.config.dram import DramTiming, HmcGeometry, default_hmc_geometry, def
 from repro.config.energy import EnergyConfig, default_energy_config
 from repro.config.interconnect import InterconnectConfig, default_interconnect_config
 from repro.config.system import (
+    EVALUATED_PRESETS,
+    HEADLINE_PRESETS,
     SYSTEM_PRESETS,
     SystemConfig,
     get_preset,
@@ -25,7 +27,9 @@ from repro.config.system import (
 __all__ = [
     "CoreConfig",
     "DramTiming",
+    "EVALUATED_PRESETS",
     "EnergyConfig",
+    "HEADLINE_PRESETS",
     "HmcGeometry",
     "InterconnectConfig",
     "SYSTEM_PRESETS",

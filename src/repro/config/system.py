@@ -43,6 +43,26 @@ PROBE_SORT = "sort"
 TOPOLOGY_STAR = "star"
 TOPOLOGY_FULL = "fully-connected"
 
+#: Shuffle-network arrival-order models (see ``repro.shuffle.interleave``).
+INTERLEAVE_ROUND_ROBIN = "round-robin"
+INTERLEAVE_RANDOM = "random"
+INTERLEAVE_MODELS = (INTERLEAVE_ROUND_ROBIN, INTERLEAVE_RANDOM)
+
+#: The paper's headline comparison (figure 7's series plus the CPU):
+#: the ``nmp`` alias composes NMP partitioning with the NMP-rand probe.
+HEADLINE_PRESETS = ("cpu", "nmp", "nmp-perm", "mondrian")
+
+#: Every configuration the evaluation section measures, in evaluation
+#: order (``experiments.common.ALL_SYSTEMS`` re-exports this).
+EVALUATED_PRESETS = (
+    "cpu",
+    "nmp-rand",
+    "nmp-seq",
+    "nmp-perm",
+    "mondrian-noperm",
+    "mondrian",
+)
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -61,6 +81,7 @@ class SystemConfig:
     timing: DramTiming = field(default_factory=DramTiming)
     energy: EnergyConfig = field(default_factory=EnergyConfig)
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    interleave_model: str = INTERLEAVE_ROUND_ROBIN
 
     def __post_init__(self) -> None:
         if self.kind not in ("cpu", "nmp", "mondrian"):
@@ -71,8 +92,19 @@ class SystemConfig:
             raise ValueError(f"unknown probe algorithm: {self.probe_algorithm!r}")
         if self.topology not in (TOPOLOGY_STAR, TOPOLOGY_FULL):
             raise ValueError(f"unknown topology: {self.topology!r}")
+        if self.interleave_model not in INTERLEAVE_MODELS:
+            raise ValueError(f"unknown interleave model: {self.interleave_model!r}")
         if self.num_cores < 1:
             raise ValueError("num_cores must be >= 1")
+        if self.kind == "cpu" and self.partition_scheme == PARTITION_PERMUTABLE:
+            # Permutable stores live in the vault memory controllers
+            # (section 4.1): a CPU-centric system addresses memory from
+            # across the SerDes links and cannot delegate placement.
+            raise ValueError(
+                "permutable partitioning requires near-memory compute "
+                "(kind 'nmp' or 'mondrian'); the CPU-centric system has no "
+                "vault-controller write path"
+            )
 
     @property
     def is_near_memory(self) -> bool:

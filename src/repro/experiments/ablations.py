@@ -17,29 +17,28 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.analytics.tuples import TUPLE_B
-from repro.config.cores import cortex_a35_mondrian
+from repro.api import Scenario, SystemSpec, format_table
 from repro.config.dram import DramTiming, HmcGeometry
 from repro.config.energy import default_energy_config
-from repro.config.system import get_preset
 from repro.dram.analytic import InterleavedWrites, estimate_pattern
-from repro.experiments.common import MODEL_SCALE, format_table, make_workload
-from repro.systems.machine import Machine
+from repro.experiments.common import MODEL_SCALE
 
 
 def simd_width_sweep(
     widths=(128, 256, 512, 1024), operator: str = "join", scale: float = MODEL_SCALE
 ) -> Dict[int, float]:
-    """Mondrian runtime vs SIMD width (seconds)."""
-    workload = make_workload(operator, seed=23)
+    """Mondrian runtime vs SIMD width (seconds).
+
+    Each width is a one-line :class:`SystemSpec` derivation -- the
+    scenario API's core use case (hardware points the paper never
+    measured).
+    """
     runtimes = {}
     for width in widths:
-        config = get_preset("mondrian").with_overrides(
-            core=cortex_a35_mondrian(simd_width_bits=width),
-            name=f"mondrian-simd{width}",
+        spec = SystemSpec("mondrian").with_simd(width).named(f"mondrian-simd{width}")
+        runtimes[width] = (
+            Scenario(spec, operator, model_scale=scale, seed=23).result().runtime_s
         )
-        runtimes[width] = Machine(config).run_operator(
-            operator, workload, scale_factor=scale
-        ).runtime_s
     return runtimes
 
 

@@ -31,13 +31,22 @@ per process instead of once per figure.  ``run_all --no-cache`` (or
 and ``run_all --jobs N`` runs experiment sections in a process pool
 (each worker holds its own cache).
 
-:class:`ResultMatrix` keeps its (system, operator) -> result interface
-on top of the shared caches; :func:`format_table` is the one ASCII
-table style used by every report, including the pipeline subsystem's.
+The caches are addressed either by preset name *or* by any
+:class:`~repro.api.spec.SystemSpec`-like object exposing ``cache_key``
+and ``to_config()`` -- which is how the scenario API (:mod:`repro.api`)
+evaluates hardware points the paper never measured through the same
+memoization.
+
+:class:`ResultMatrix` is retained as a deprecated shim over the
+scenario API; :func:`format_table` forwards to its new home in
+:mod:`repro.api.results`.  New code should use
+:class:`repro.api.Scenario` / :class:`repro.api.Sweep` directly.
 """
 
 from __future__ import annotations
 
+import functools
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.analytics.workload import (
@@ -46,6 +55,7 @@ from repro.analytics.workload import (
     make_scan_workload,
     make_sort_workload,
 )
+from repro.config.system import EVALUATED_PRESETS
 from repro.perf.result import SystemResult
 from repro.systems import build_system
 
@@ -67,15 +77,9 @@ MODEL_SCALE = 2000.0
 #: Memory partitions = vaults in the paper's machine.
 NUM_PARTITIONS = 64
 
-#: All evaluated configurations, evaluation order.
-ALL_SYSTEMS = (
-    "cpu",
-    "nmp-rand",
-    "nmp-seq",
-    "nmp-perm",
-    "mondrian-noperm",
-    "mondrian",
-)
+#: All evaluated configurations, evaluation order (one shared constant:
+#: ``repro.config.system.EVALUATED_PRESETS``).
+ALL_SYSTEMS = EVALUATED_PRESETS
 
 OPERATORS = ("scan", "sort", "groupby", "join")
 
@@ -110,6 +114,7 @@ def clear_caches() -> None:
     _RESULT_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
+    _spec_machine.cache_clear()
     clear_machine_cache()
 
 
@@ -159,8 +164,42 @@ def make_workload(operator: str, seed: int = 17, num_partitions: int = NUM_PARTI
     )
 
 
+@functools.lru_cache(maxsize=None)
+def _spec_machine(spec) -> Any:
+    """Machine singleton per custom (non-preset) system spec."""
+    from repro.systems.machine import Machine
+
+    return Machine(spec.to_config())
+
+
+def machine_for(system) -> Any:
+    """The machine singleton for a preset name or a SystemSpec.
+
+    Preset names (and specs that add nothing to their base preset) share
+    the per-preset singletons of :func:`repro.systems.build_system`;
+    custom specs get their own memoized machine.  Specs are duck-typed:
+    anything hashable with ``to_config()`` (plus optionally
+    ``is_preset``/``base``) works.
+    """
+    if isinstance(system, str):
+        return build_system(system)
+    if getattr(system, "is_preset", False):
+        return build_system(system.base)
+    return _spec_machine(system)
+
+
+def _system_token(system) -> Any:
+    """The hashable cache-key component naming a system.
+
+    Preset strings key exactly as they always have (so scenario-API
+    callers share entries with the figure modules); specs key by their
+    full content.
+    """
+    return system if isinstance(system, str) else system.cache_key
+
+
 def run_cached_result(
-    system: str,
+    system: Any,
     operator: str,
     scale: float,
     seed: int = 17,
@@ -169,9 +208,10 @@ def run_cached_result(
 ) -> SystemResult:
     """Functionally run + cost one (system, operator) pair, memoized.
 
-    The content key adds the system preset name and the model scale to
-    the workload key; results are immutable to their consumers (the
-    figure modules only read them), so sharing one
+    ``system`` is a preset name or a SystemSpec-like object (see
+    :func:`machine_for`).  The content key adds the system token and the
+    model scale to the workload key; results are immutable to their
+    consumers (the figure modules only read them), so sharing one
     :class:`~repro.perf.result.SystemResult` across figures is safe.
 
     ``workload`` lets a caller that already holds the (seed,
@@ -181,7 +221,7 @@ def run_cached_result(
     """
     key = (
         "result",
-        system,
+        _system_token(system),
         operator,
         FUNCTIONAL_N.get(operator),
         float(scale),
@@ -190,7 +230,7 @@ def run_cached_result(
     )
 
     def build() -> SystemResult:
-        machine = build_system(system)
+        machine = machine_for(system)
         return machine.run_operator(
             operator,
             workload if workload is not None
@@ -202,11 +242,13 @@ def run_cached_result(
 
 
 class ResultMatrix:
-    """Runs and caches (system, operator) -> SystemResult.
+    """Deprecated: runs and caches (system, operator) -> SystemResult.
 
-    A thin view over the shared content-keyed caches: two matrices with
-    the same scale/seed/partition parameters (e.g. fig7's and fig9's)
-    share workloads, machines and results.
+    The pre-scenario-API front door, retained as a thin shim so old
+    call sites keep working.  New code should use
+    :class:`repro.api.Scenario` (one point) or :class:`repro.api.Sweep`
+    (a grid); both share the same content-keyed caches, so mixing old
+    and new callers costs nothing.
     """
 
     def __init__(
@@ -217,6 +259,12 @@ class ResultMatrix:
         seed: int = 17,
         num_partitions: int = NUM_PARTITIONS,
     ) -> None:
+        warnings.warn(
+            "ResultMatrix is deprecated; use repro.api.Scenario / "
+            "repro.api.Sweep instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._systems = tuple(systems)
         self._operators = tuple(operators)
         self._scale = scale
@@ -261,14 +309,13 @@ class ResultMatrix:
 
 
 def format_table(headers: List[str], rows: List[List[Any]]) -> str:
-    """Fixed-width ASCII table for experiment output."""
-    str_rows = [[str(c) for c in row] for row in rows]
-    widths = [
-        max(len(headers[i]), max((len(r[i]) for r in str_rows), default=0))
-        for i in range(len(headers))
-    ]
-    def fmt(row):
-        return "  ".join(c.ljust(w) for c, w in zip(row, widths))
-    lines = [fmt(headers), fmt(["-" * w for w in widths])]
-    lines.extend(fmt(r) for r in str_rows)
-    return "\n".join(lines)
+    """Fixed-width ASCII table for experiment output.
+
+    Back-compat forwarder: the implementation now lives with the
+    scenario API's result container (:mod:`repro.api.results`).  The
+    import is deferred so ``repro.api`` (which imports this module) can
+    finish initializing first.
+    """
+    from repro.api.results import format_table as _format_table
+
+    return _format_table(headers, rows)

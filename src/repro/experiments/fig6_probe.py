@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.experiments.common import MODEL_SCALE, OPERATORS, ResultMatrix, format_table
+from repro.api import Scenario, format_table
+from repro.experiments.common import MODEL_SCALE, OPERATORS
 from repro.perf.result import probe_speedup
 
 SYSTEMS = ("nmp-rand", "nmp-seq", "mondrian")
@@ -41,14 +42,14 @@ PAPER_APPROX = {
 
 
 def run(scale: float = MODEL_SCALE, seed: int = 17) -> Dict[str, object]:
-    matrix = ResultMatrix(
-        systems=("cpu",) + SYSTEMS, operators=OPERATORS, scale=scale, seed=seed
-    )
+    def result(system: str, operator: str):
+        return Scenario(system, operator, model_scale=scale, seed=seed).result()
+
     speedups: Dict[str, Dict[str, float]] = {}
     for operator in OPERATORS:
-        cpu = matrix.result("cpu", operator)
+        cpu = result("cpu", operator)
         speedups[operator] = {
-            system: probe_speedup(cpu, matrix.result(system, operator))
+            system: probe_speedup(cpu, result(system, operator))
             for system in SYSTEMS
         }
     rows = []

@@ -11,39 +11,37 @@ NMP baseline (NMP-perm partitioning + NMP-rand probe).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict
 
-from repro.experiments.common import MODEL_SCALE, OPERATORS, ResultMatrix, format_table
+from repro.api import Scenario, format_table
+from repro.experiments.common import MODEL_SCALE, OPERATORS
 
 SERIES = ("nmp", "nmp-perm", "mondrian")
 
 
-def _overall_time(matrix: ResultMatrix, series: str, operator: str) -> float:
+def _overall_time(result: Callable, series: str, operator: str) -> float:
     """Composite runtime per the paper's figure 7 rules."""
     if series == "mondrian":
-        return matrix.result("mondrian", operator).runtime_s
-    probe = matrix.result("nmp-rand", operator).probe_time_s
+        return result("mondrian", operator).runtime_s
+    probe = result("nmp-rand", operator).probe_time_s
     if series == "nmp":
-        partition = matrix.result("nmp-rand", operator).partition_time_s
+        partition = result("nmp-rand", operator).partition_time_s
     elif series == "nmp-perm":
-        partition = matrix.result("nmp-perm", operator).partition_time_s
+        partition = result("nmp-perm", operator).partition_time_s
     else:
         raise ValueError(f"unknown series {series!r}")
     return partition + probe
 
 
 def run(scale: float = MODEL_SCALE, seed: int = 17) -> Dict[str, object]:
-    matrix = ResultMatrix(
-        systems=("cpu", "nmp-rand", "nmp-perm", "mondrian"),
-        operators=OPERATORS,
-        scale=scale,
-        seed=seed,
-    )
+    def result(system: str, operator: str):
+        return Scenario(system, operator, model_scale=scale, seed=seed).result()
+
     speedups: Dict[str, Dict[str, float]] = {}
     for operator in OPERATORS:
-        cpu_time = matrix.result("cpu", operator).runtime_s
+        cpu_time = result("cpu", operator).runtime_s
         speedups[operator] = {
-            series: cpu_time / _overall_time(matrix, series, operator)
+            series: cpu_time / _overall_time(result, series, operator)
             for series in SERIES
         }
     rows = [

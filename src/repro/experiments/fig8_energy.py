@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.experiments.common import MODEL_SCALE, OPERATORS, ResultMatrix, format_table
+from repro.api import Scenario, format_table
+from repro.experiments.common import MODEL_SCALE, OPERATORS
 from repro.energy.model import EnergyBreakdown
 
 SYSTEMS = ("cpu", "nmp-rand", "nmp-perm", "mondrian")
@@ -25,13 +26,15 @@ COMPONENTS = ("dram_dyn", "dram_static", "cores", "serdes_noc")
 
 
 def run(scale: float = MODEL_SCALE, seed: int = 17) -> Dict[str, object]:
-    matrix = ResultMatrix(systems=SYSTEMS, operators=OPERATORS, scale=scale, seed=seed)
+    def result(system: str, operator: str):
+        return Scenario(system, operator, model_scale=scale, seed=seed).result()
+
     fractions: Dict[str, Dict[str, float]] = {}
     totals: Dict[str, float] = {}
     for system in SYSTEMS:
         combined = EnergyBreakdown()
         for operator in OPERATORS:
-            combined.accumulate(matrix.result(system, operator).energy)
+            combined.accumulate(result(system, operator).energy)
         fractions[system] = combined.fractions()
         totals[system] = combined.total_j
     rows = [

@@ -12,21 +12,22 @@ summing the corresponding phases' energies.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Tuple
 
-from repro.experiments.common import MODEL_SCALE, OPERATORS, ResultMatrix, format_table
+from repro.api import Scenario, format_table
+from repro.experiments.common import MODEL_SCALE, OPERATORS
 
 SERIES = ("nmp", "nmp-perm", "mondrian")
 
 
-def _composite(matrix: ResultMatrix, series: str, operator: str) -> Tuple[float, float]:
+def _composite(result: Callable, series: str, operator: str) -> Tuple[float, float]:
     """(runtime_s, energy_j) of a figure 7-style composite."""
     if series == "mondrian":
-        r = matrix.result("mondrian", operator)
+        r = result("mondrian", operator)
         return r.runtime_s, r.energy.total_j
-    rand = matrix.result("nmp-rand", operator)
+    rand = result("nmp-rand", operator)
     part_sys = "nmp-rand" if series == "nmp" else "nmp-perm"
-    part = matrix.result(part_sys, operator)
+    part = result(part_sys, operator)
     # Energy split: partition share from the partition system, probe
     # share from nmp-rand.  Shares scale with the phases' runtimes.
     part_frac = part.partition_time_s / part.runtime_s if part.runtime_s else 0.0
@@ -37,20 +38,17 @@ def _composite(matrix: ResultMatrix, series: str, operator: str) -> Tuple[float,
 
 
 def run(scale: float = MODEL_SCALE, seed: int = 17) -> Dict[str, object]:
-    matrix = ResultMatrix(
-        systems=("cpu", "nmp-rand", "nmp-perm", "mondrian"),
-        operators=OPERATORS,
-        scale=scale,
-        seed=seed,
-    )
+    def result(system: str, operator: str):
+        return Scenario(system, operator, model_scale=scale, seed=seed).result()
+
     improvements: Dict[str, Dict[str, float]] = {}
     for operator in OPERATORS:
-        cpu = matrix.result("cpu", operator)
+        cpu = result("cpu", operator)
         # perf/W = (1/runtime) / (energy/runtime) = 1/energy.
         cpu_eff = 1.0 / cpu.energy.total_j
         improvements[operator] = {}
         for series in SERIES:
-            _, energy = _composite(matrix, series, operator)
+            _, energy = _composite(result, series, operator)
             improvements[operator][series] = (1.0 / energy) / cpu_eff
     rows = [
         [operator] + [f"{improvements[operator][s]:.1f}x" for s in SERIES]

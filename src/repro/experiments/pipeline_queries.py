@@ -20,26 +20,22 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.experiments.common import MODEL_SCALE, format_table
+from repro.api import format_table, run_plan
+from repro.experiments.common import MODEL_SCALE
 from repro.pipeline.perf import PipelinePerf, pipeline_speedup
-from repro.pipeline.queries import CANONICAL_QUERIES
+from repro.pipeline.queries import CANONICAL_QUERIES, CANONICAL_QUERY_SIZES
 from repro.pipeline.report import (
     bottleneck_report,
     comparison_table,
     stage_breakdown_table,
 )
-from repro.systems import build_system
 
 #: Machines compared end-to-end: CPU baseline, best NMP baseline, Mondrian.
 SYSTEMS = ("cpu", "nmp-perm", "mondrian")
 
-#: Functional sizes, kept below the single-operator defaults because a
-#: pipeline executes several operators per machine.
-QUERY_SIZES = {
-    "fk-join-aggregate": {"n_r": 4_000, "n_s": 16_000},
-    "sort-then-scan": {"n": 16_000},
-    "skewed-partition-join": {"n_r": 4_000, "n_s": 16_000},
-}
+#: Functional sizes shared with the scenario API's query scenarios
+#: (one constant: ``repro.pipeline.queries.CANONICAL_QUERY_SIZES``).
+QUERY_SIZES = CANONICAL_QUERY_SIZES
 
 
 def run(scale: float = MODEL_SCALE, seed: int = 17, num_partitions: int = 64) -> Dict:
@@ -58,7 +54,7 @@ def run(scale: float = MODEL_SCALE, seed: int = 17, num_partitions: int = 64) ->
         perfs[query] = {}
         lines = [f"-- {query}: {plan.description} --"]
         for system in SYSTEMS:
-            perf = build_system(system).run_pipeline(plan, scale_factor=scale)
+            perf = run_plan(system, plan, model_scale=scale)
             perfs[query][system] = perf
             lines.append(f"\n[{system}]")
             lines.append(stage_breakdown_table(perf))

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments.run_all --no-cache    # recompute everything
     python -m repro.experiments.run_all --pipelines   # query pipelines only
     python -m repro.experiments.run_all --fast --pipelines
+    python -m repro.experiments.run_all --sweep SPEC.json  # scenario sweep
 
 Without flags, prints each paper artifact's table in paper order, with
 the paper's values alongside where the experiment reports them.
@@ -16,8 +17,11 @@ the output is byte-identical to a sequential run (sections are collected
 and printed in paper order).  ``--no-cache`` disables the shared
 workload/result memoization (see ``repro.experiments.common``).
 ``--pipelines`` runs the multi-operator query-pipeline suite instead
-(per-stage time/energy breakdowns on CPU, NMP-perm and Mondrian); see
-``docs/USAGE.md`` for the full flag reference.
+(per-stage time/energy breakdowns on CPU, NMP-perm and Mondrian).
+``--sweep SPEC.json`` runs an arbitrary scenario grid through the
+scenario API (``repro.api``) and prints its ResultSet as JSON records;
+``python -m repro.api`` is the richer front end (CSV export, inline
+grids).  See ``docs/USAGE.md`` for the full flag reference.
 """
 
 from __future__ import annotations
@@ -108,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
              "time/energy breakdowns on CPU, NMP-perm and Mondrian) "
              "instead of the paper-artifact report",
     )
+    parser.add_argument(
+        "--sweep", metavar="SPEC.json",
+        help="run the scenario-API sweep grid described by SPEC.json "
+             "instead of the paper report, printing its ResultSet as "
+             "JSON records (honours --jobs and --no-cache; "
+             "python -m repro.api adds CSV export and inline grids)",
+    )
     return parser
 
 
@@ -166,6 +177,18 @@ def run_pipeline_report(scale: float) -> None:
     print(pipeline_queries.run(scale=scale)["table"])
 
 
+def run_sweep_report(spec_path: str, jobs: int = 1) -> None:
+    """An arbitrary scenario grid (``--sweep SPEC.json``)."""
+    from pathlib import Path
+
+    from repro.api import Sweep
+
+    sweep = Sweep.from_json(Path(spec_path).read_text())
+    results = sweep.run(jobs=jobs)
+    print(_banner(f"Scenario sweep: {sweep.size} scenarios from {spec_path}"))
+    print(results.to_json())
+
+
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
@@ -175,10 +198,19 @@ def main(argv=None) -> None:
     scale = FAST_SCALE if args.fast else MODEL_SCALE
 
     start = time.time()
-    mode = "query-pipeline suite" if args.pipelines else "full report"
-    print(f"Mondrian Data Engine reproduction -- {mode} (scale {scale:.0f}x)")
+    if args.sweep:
+        # A sweep's scales come from SPEC.json, not --fast: don't print
+        # a scale the grid may not use.
+        mode, scale_note = "scenario sweep", ""
+    elif args.pipelines:
+        mode, scale_note = "query-pipeline suite", f" (scale {scale:.0f}x)"
+    else:
+        mode, scale_note = "full report", f" (scale {scale:.0f}x)"
+    print(f"Mondrian Data Engine reproduction -- {mode}{scale_note}")
 
-    if args.pipelines:
+    if args.sweep:
+        run_sweep_report(args.sweep, jobs=args.jobs)
+    elif args.pipelines:
         run_pipeline_report(scale)
     else:
         run_paper_report(scale, jobs=args.jobs)

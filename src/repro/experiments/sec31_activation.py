@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.config.energy import default_energy_config
-from repro.experiments.common import format_table
+from repro.api import format_table
 
 GRANULARITIES_B = (8, 16, 32, 64, 128, 256)
 ROW_SIZES = {"HMC": 256, "HBM": 2048, "WideIO2": 4096}

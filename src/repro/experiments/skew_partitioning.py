@@ -14,7 +14,7 @@ from typing import Dict
 import numpy as np
 
 from repro.analytics.skew import make_skewed_groupby_workload, partition_imbalance
-from repro.experiments.common import format_table
+from repro.api import format_table
 from repro.operators.base import OperatorVariant
 from repro.operators.partition import destination_map
 from repro.operators.skew import run_partitioning_skew_aware

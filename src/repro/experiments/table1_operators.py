@@ -18,7 +18,7 @@ from repro.analytics.workload import (
 )
 from repro.operators import OperatorVariant, run_groupby, run_join, run_scan, run_sort
 from repro.operators.oracle import oracle_groupby, oracle_join, oracle_scan, oracle_sort
-from repro.experiments.common import format_table
+from repro.api import format_table
 
 #: Table 1, verbatim.
 SPARK_OPERATOR_MAP: Dict[str, List[str]] = {

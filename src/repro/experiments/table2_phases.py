@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.experiments.common import format_table, make_workload
+from repro.api import format_table
+from repro.experiments.common import make_workload
 from repro.operators import OPERATOR_RUNNERS, OperatorVariant
 from repro.operators.base import PHASE_DISTRIBUTE, PHASE_HISTOGRAM, PHASE_PROBE
 

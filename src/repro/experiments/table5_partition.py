@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.experiments.common import MODEL_SCALE, ResultMatrix, format_table
+from repro.api import Scenario, format_table
+from repro.experiments.common import MODEL_SCALE
 from repro.perf.result import partition_speedup
 
 PAPER_SPEEDUPS = {
@@ -34,13 +35,12 @@ DISPLAY = {
 
 
 def run(scale: float = MODEL_SCALE, seed: int = 17) -> Dict[str, object]:
-    matrix = ResultMatrix(
-        systems=("cpu",) + tuple(PAPER_SPEEDUPS), operators=("join",), scale=scale, seed=seed
-    )
-    cpu = matrix.result("cpu", "join")
+    def result(system: str):
+        return Scenario(system, "join", model_scale=scale, seed=seed).result()
+
+    cpu = result("cpu")
     speedups = {
-        name: partition_speedup(cpu, matrix.result(name, "join"))
-        for name in PAPER_SPEEDUPS
+        name: partition_speedup(cpu, result(name)) for name in PAPER_SPEEDUPS
     }
     rows = [
         [DISPLAY[name], f"{speedups[name]:.1f}x", f"{PAPER_SPEEDUPS[name]:.0f}x"]

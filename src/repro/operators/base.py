@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
 from repro.analytics.tuples import TUPLE_B
+from repro.config.system import INTERLEAVE_MODELS, INTERLEAVE_ROUND_ROBIN
 
 #: Phase categories (Table 2 columns).
 PHASE_HISTOGRAM = "histogram"
@@ -146,12 +147,17 @@ class OperatorVariant:
     #: Local in-partition sort used by the Sort operator's probe phase:
     #: quicksort on the CPU, mergesort on the NMP machines (section 6).
     local_sort: str = "mergesort"
+    #: Arrival-order model of the shuffle network (see
+    #: ``repro.shuffle.interleave.NAMED_INTERLEAVES``).
+    interleave: str = INTERLEAVE_ROUND_ROBIN
 
     def __post_init__(self) -> None:
         if self.probe_algorithm not in ("hash", "sort"):
             raise ValueError(f"unknown probe algorithm {self.probe_algorithm!r}")
         if self.local_sort not in ("quicksort", "mergesort"):
             raise ValueError(f"unknown local sort {self.local_sort!r}")
+        if self.interleave not in INTERLEAVE_MODELS:
+            raise ValueError(f"unknown interleave model {self.interleave!r}")
         if self.radix_bits < 1:
             raise ValueError("radix_bits must be >= 1")
         if self.num_partitions < 1:

@@ -33,6 +33,7 @@ from repro.operators.base import (
     PhaseCost,
 )
 from repro.shuffle.engine import ShuffleEngine, ShuffleResult
+from repro.shuffle.interleave import get_interleave
 
 #: Partitioning key-bit schemes.
 SCHEME_LOW_BITS = "low"
@@ -186,6 +187,7 @@ def run_partitioning(
         num_destinations=variant.num_partitions,
         object_b=TUPLE_B,
         permutable=variant.permutable,
+        interleave=get_interleave(variant.interleave),
     )
     shuffle = engine.run(sources, dest_maps)
     n = sum(len(rel) for rel in sources)

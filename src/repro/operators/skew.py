@@ -46,6 +46,7 @@ from repro.operators.partition import (
     histogram_cost,
 )
 from repro.shuffle.engine import ShuffleEngine
+from repro.shuffle.interleave import get_interleave
 
 
 class PartitionOverflowError(RuntimeError):
@@ -278,7 +279,10 @@ def run_partitioning_skew_aware(
         phases.append(second_round_cost(int(n * model_scale), variant))
 
     engine = ShuffleEngine(
-        num_destinations=num_vaults, object_b=TUPLE_B, permutable=variant.permutable
+        num_destinations=num_vaults,
+        object_b=TUPLE_B,
+        permutable=variant.permutable,
+        interleave=get_interleave(variant.interleave),
     )
     shuffle = engine.run(sources, final_maps)
     phases.append(distribute_cost(int(n * model_scale), variant, label="distribute"))

@@ -179,6 +179,17 @@ CANONICAL_QUERIES: Dict[str, Callable[..., QueryPlan]] = {
     "skewed-partition-join": skewed_partition_join,
 }
 
+#: Default functional sizes per canonical query, kept below the
+#: single-operator defaults because a pipeline executes several
+#: operators per machine.  Shared by the ``pipeline_queries`` experiment
+#: and the scenario API's query scenarios, so both evaluate the same
+#: points.
+CANONICAL_QUERY_SIZES: Dict[str, Dict[str, int]] = {
+    "fk-join-aggregate": {"n_r": 4_000, "n_s": 16_000},
+    "sort-then-scan": {"n": 16_000},
+    "skewed-partition-join": {"n_r": 4_000, "n_s": 16_000},
+}
+
 
 def build_query(name: str, **kwargs) -> QueryPlan:
     """Build a canonical query by name (see :data:`CANONICAL_QUERIES`)."""

@@ -10,11 +10,18 @@ event-accurate DRAM model can replay.
 """
 
 from repro.shuffle.engine import ShuffleEngine, ShuffleResult
-from repro.shuffle.interleave import round_robin_interleave, random_interleave
+from repro.shuffle.interleave import (
+    NAMED_INTERLEAVES,
+    get_interleave,
+    random_interleave,
+    round_robin_interleave,
+)
 
 __all__ = [
+    "NAMED_INTERLEAVES",
     "ShuffleEngine",
     "ShuffleResult",
+    "get_interleave",
     "random_interleave",
     "round_robin_interleave",
 ]

@@ -24,6 +24,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.config.system import INTERLEAVE_RANDOM, INTERLEAVE_ROUND_ROBIN
+
 #: Arrival order: parallel ``(sources, indices)`` int64 arrays.
 ArrivalOrder = Tuple[np.ndarray, np.ndarray]
 
@@ -89,3 +91,26 @@ def random_interleave(
     indices = np.empty(total, dtype=np.int64)
     indices[by_source] = within
     return sources, indices
+
+
+#: Named interleave models, keyed by the one shared vocabulary
+#: (``repro.config.system.INTERLEAVE_MODELS``).
+NAMED_INTERLEAVES = {
+    INTERLEAVE_ROUND_ROBIN: round_robin_interleave,
+    INTERLEAVE_RANDOM: random_interleave,
+}
+
+
+def get_interleave(name: str):
+    """Interleave callable for a configured model name.
+
+    The ``random`` model keeps its default seed, so a given configuration
+    still produces one deterministic arrival order.
+    """
+    try:
+        return NAMED_INTERLEAVES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown interleave model {name!r}; "
+            f"choose from {sorted(NAMED_INTERLEAVES)}"
+        ) from None

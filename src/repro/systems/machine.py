@@ -22,7 +22,7 @@ from __future__ import annotations
 import functools
 from typing import Any, Dict, Optional
 
-from repro.config.system import SystemConfig, get_preset
+from repro.config.system import HEADLINE_PRESETS, SystemConfig, get_preset
 from repro.energy.model import EnergyBreakdown, EnergyModel
 from repro.interconnect.topology import Topology, build_topology
 from repro.operators import OPERATOR_RUNNERS, OperatorRun, OperatorVariant
@@ -67,6 +67,7 @@ class Machine:
             simd=cfg.kind == "mondrian",
             num_partitions=num_partitions,
             local_sort="quicksort" if cfg.kind == "cpu" else "mergesort",
+            interleave=cfg.interleave_model,
         )
 
     def run_operator(
@@ -84,7 +85,14 @@ class Machine:
             ) from None
         if scale_factor <= 0:
             raise ValueError("scale factor must be positive")
-        num_partitions = _workload_partitions(workload)
+        try:
+            num_partitions = workload.num_partitions
+        except AttributeError:
+            raise TypeError(
+                f"workload {type(workload).__name__} does not implement the "
+                "num_partitions property; every workload dataclass must "
+                "declare how many memory partitions it was generated across"
+            ) from None
         run: OperatorRun = runner(
             workload, self.variant(num_partitions), model_scale=scale_factor
         )
@@ -109,6 +117,17 @@ class Machine:
         )
         return evaluate_pipeline(self, run)
 
+    def phase_energy(self, perf) -> EnergyBreakdown:
+        """Energy breakdown of one evaluated phase on this machine.
+
+        The same accounting ``evaluate_run`` accumulates across phases,
+        exposed per phase so the scenario API can emit tidy
+        per-phase/per-component records.
+        """
+        return self._energy_model.phase_energy(
+            perf.events, perf.time_s, perf.core_utilization
+        )
+
     def evaluate_run(self, run: OperatorRun) -> SystemResult:
         """Cost an already-executed operator run on this machine."""
         phase_perfs = []
@@ -130,15 +149,6 @@ class Machine:
             output=run.output,
             metadata=dict(run.metadata),
         )
-
-
-def _workload_partitions(workload: Any) -> int:
-    """Number of memory partitions the workload was generated with."""
-    if hasattr(workload, "partitions"):
-        return len(workload.partitions)
-    if hasattr(workload, "r_partitions"):
-        return len(workload.r_partitions)
-    raise TypeError(f"cannot infer partition count from {type(workload).__name__}")
 
 
 @functools.lru_cache(maxsize=None)
@@ -174,8 +184,8 @@ def run_all_systems(
     scale_factor: float = 1.0,
 ) -> Dict[str, SystemResult]:
     """Run one operator on several systems (default: the paper's four
-    headline configurations)."""
-    presets = presets or ["cpu", "nmp", "nmp-perm", "mondrian"]
+    headline configurations, ``repro.config.system.HEADLINE_PRESETS``)."""
+    presets = list(presets) if presets else list(HEADLINE_PRESETS)
     return {
         name: build_system(name).run_operator(operator, workload, scale_factor)
         for name in presets

@@ -53,20 +53,25 @@ def test_doc_block_executes(source, block):
     assert result.failed == 0, f"doctest failure in {source} (see captured output)"
 
 
-def test_usage_flags_match_run_all_parser():
-    """Every --flag named in the docs must exist on the real parser, and
-    the flags the docs promise must actually be documented."""
-    from repro.experiments.run_all import build_parser
+def test_usage_flags_match_cli_parsers():
+    """Every --flag named in the docs must exist on a real parser
+    (run_all's or the scenario-API CLI's), and the flags the docs
+    promise must actually be documented."""
+    from repro.api.__main__ import build_parser as api_parser
+    from repro.experiments.run_all import build_parser as run_all_parser
 
     parser_flags = {
-        opt for action in build_parser()._actions for opt in action.option_strings
+        opt
+        for parser in (run_all_parser(), api_parser())
+        for action in parser._actions
+        for opt in action.option_strings
     }
     for path in (ROOT / "docs" / "USAGE.md", ROOT / "README.md"):
         documented = set(re.findall(r"(--[a-z][a-z0-9-]*)", path.read_text()))
         unknown = documented - parser_flags - {"--no-use-pep517"}
         assert not unknown, f"{path.name} documents unknown flags: {unknown}"
     usage = (ROOT / "docs" / "USAGE.md").read_text()
-    assert "--pipelines" in usage and "--fast" in usage
+    assert "--pipelines" in usage and "--fast" in usage and "--sweep" in usage
 
 
 def test_documented_modules_are_importable():
