@@ -4,24 +4,34 @@
 PY ?= python
 export PYTHONPATH := src
 
-#: Current perf-trajectory point; bump per perf PR (BENCH_PR3.json, ...).
-BENCH_JSON ?= BENCH_PR2.json
+#: Current perf-trajectory point; bump per perf PR (BENCH_PR5.json, ...).
+BENCH_JSON ?= BENCH_PR4.json
 
-.PHONY: test docs-check report pipelines sweep-smoke bench bench-compare
+.PHONY: test docs-check report pipelines sweep-smoke service-smoke bench bench-compare
 
 ## Tier-1 verification: full unit/integration/experiment + benchmark
-## suite, then the sweep-smoke golden check.
+## suite, then the sweep-smoke and service-smoke golden checks.
 test:
 	$(PY) -m pytest -x -q
 	$(MAKE) sweep-smoke
+	$(MAKE) service-smoke
 
 ## Scenario-API smoke test: run the committed 2x2 sweep grid (CPU +
 ## a 32-core star-topology Mondrian the paper never measured) and diff
 ## its ResultSet JSON against the committed golden file.
+## (REPRO_STORE is cleared so an ambient warm store can never replay
+## stale results into the golden diff.)
 sweep-smoke:
-	$(PY) -m repro.api --sweep tests/data/sweep_smoke.json --json - \
+	REPRO_STORE= $(PY) -m repro.api --sweep tests/data/sweep_smoke.json --json - \
 	  | diff - tests/data/sweep_smoke_golden.json
 	@echo "sweep-smoke OK: ResultSet matches the committed golden file."
+
+## Evaluation-service smoke test: start the daemon on an ephemeral port
+## with a fresh store, submit the sweep-smoke grid twice through the
+## service CLI, and assert the second pass is 100% store hits with
+## byte-identical golden output.
+service-smoke:
+	$(PY) tests/service_smoke.py
 
 ## Executable-documentation check: doctest every fenced code block in
 ## README.md and docs/, validate documented CLI flags against the real

@@ -27,6 +27,18 @@ def bench_scale():
     return BENCH_SCALE
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _no_ambient_result_store():
+    """An ambient ``REPRO_STORE`` would turn the timed cold pipelines
+    into warm store replays (and write benchmark entries into the
+    user's personal store); scrub it for the whole session."""
+    mp = pytest.MonkeyPatch()
+    mp.delenv(common.STORE_ENV, raising=False)
+    mp.delenv(common.STORE_MAX_BYTES_ENV, raising=False)
+    yield
+    mp.undo()
+
+
 @pytest.fixture(autouse=True)
 def fresh_caches():
     """Each benchmark measures a cold experiment pipeline."""

@@ -1,0 +1,56 @@
+"""Bench: the persistent result store, cold vs warm.
+
+Times the committed sweep-smoke grid through the store tier in both
+regimes the evaluation service cares about:
+
+- **cold store**: empty directory, every scenario simulates and writes
+  its evaluated result back -- the first client's bill;
+- **warm store**: the same grid replayed with cold *in-memory* caches
+  against a populated store -- the fresh-process / second-client path,
+  which must cost JSON decoding, not simulation.
+
+The warm/cold ratio is the service's whole value proposition, so it
+rides the perf trajectory (``BENCH_PR4.json``) from this PR on.
+"""
+
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.api import Sweep
+from repro.experiments import common
+
+SPEC = Path(__file__).resolve().parents[1] / "tests" / "data" / "sweep_smoke.json"
+
+
+def _smoke_sweep() -> Sweep:
+    return Sweep.from_json(SPEC.read_text())
+
+
+def _run_with_store(store_dir) -> int:
+    common.configure_store(store_dir)
+    try:
+        return len(_smoke_sweep().run())
+    finally:
+        common.configure_store(None)
+
+
+def test_sweep_cold_store(benchmark, tmp_path):
+    records = run_once(benchmark, _run_with_store, tmp_path / "store")
+    assert records > 0
+    assert len(list((tmp_path / "store").glob("objects/*/*.json"))) == 4
+
+
+def test_sweep_warm_store(benchmark, tmp_path):
+    store = tmp_path / "store"
+    populated = _run_with_store(store)  # fill the store outside the clock
+    common.clear_caches()  # memory tiers cold: only the store is warm
+    count = run_once(benchmark, _run_with_store, store)
+    assert count == populated
+    # Nothing new was evaluated: the entry set is exactly the cold run's.
+    assert len(list(store.glob("objects/*/*.json"))) == 4
+
+
+def test_sweep_no_store_baseline(benchmark):
+    """The in-memory-only cold path, for the trajectory comparison."""
+    result = run_once(benchmark, lambda: len(_smoke_sweep().run()))
+    assert result > 0

@@ -23,7 +23,9 @@ evaluation depends on:
 - one experiment driver per table/figure of the paper
   (:mod:`repro.experiments`); and
 - the declarative scenario API -- SystemSpec builders, Scenario/Sweep
-  grids and tidy ResultSet exports (:mod:`repro.api`).
+  grids and tidy ResultSet exports (:mod:`repro.api`); and
+- the evaluation service -- content-addressed persistent result store,
+  batching scheduler and serving daemon (:mod:`repro.service`).
 
 Quickstart::
 
@@ -53,6 +55,7 @@ _SUBMODULES = (
     "memctrl",
     "operators",
     "perf",
+    "service",
     "shuffle",
     "systems",
 )

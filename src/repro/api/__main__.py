@@ -90,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the shared workload/result memoization",
     )
     parser.add_argument(
+        "--store", metavar="DIR",
+        help="persistent content-addressed result store directory: warm "
+             "entries replay without simulation, evaluated misses are "
+             "written back (default: $REPRO_STORE if set); store stats "
+             "print to stderr after the run",
+    )
+    parser.add_argument(
         "--json", metavar="PATH",
         help="write the ResultSet as JSON records to PATH ('-' for stdout)",
     )
@@ -98,6 +105,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the ResultSet as CSV to PATH ('-' for stdout)",
     )
     return parser
+
+
+def export_result_set(results, json_path=None, csv_path=None) -> bool:
+    """Write the requested exports (``'-'`` = stdout); True if any.
+
+    Shared by this CLI and ``python -m repro.service submit`` so the
+    two front ends cannot drift.
+    """
+    exported = False
+    if json_path:
+        text = results.to_json()
+        if json_path == "-":
+            print(text)
+        else:
+            Path(json_path).write_text(text + "\n")
+            print(f"wrote {len(results)} records to {json_path}", file=sys.stderr)
+        exported = True
+    if csv_path:
+        text = results.to_csv()
+        if csv_path == "-":
+            sys.stdout.write(text)
+        else:
+            Path(csv_path).write_text(text)
+            print(f"wrote {len(results)} records to {csv_path}", file=sys.stderr)
+        exported = True
+    return exported
+
+
+def print_summary_table(results) -> None:
+    """The human-readable fixed-width summary (no-export default)."""
+    rows = [
+        [
+            r["system"],
+            r["workload"],
+            (f"{r['stage']}/" if r.get("stage") else "") + r["phase"],
+            f"{r['scale']:.0f}x",
+            f"{r['time_s'] * 1e3:.3f} ms",
+            f"{r['energy_j']:.4f} J",
+        ]
+        for r in results
+    ]
+    print(format_table(list(SUMMARY_COLUMNS), rows))
 
 
 def _build_sweep(args) -> Sweep:
@@ -128,41 +177,22 @@ def main(argv=None) -> None:
         raise SystemExit("--jobs must be >= 1")
     if args.no_cache:
         common.set_cache_enabled(False)
+    if args.store:
+        common.configure_store(args.store)
 
     sweep = _build_sweep(args)
     results = sweep.run(jobs=args.jobs)
+    store_stats = common.store_stats()
+    if store_stats is not None:
+        print(
+            "store: hits={hits} misses={misses} puts={puts} "
+            "evictions={evictions} entries={entries}".format(**store_stats),
+            file=sys.stderr,
+        )
 
-    exported = False
-    if args.json:
-        text = results.to_json()
-        if args.json == "-":
-            print(text)
-        else:
-            Path(args.json).write_text(text + "\n")
-            print(f"wrote {len(results)} records to {args.json}", file=sys.stderr)
-        exported = True
-    if args.csv:
-        text = results.to_csv()
-        if args.csv == "-":
-            sys.stdout.write(text)
-        else:
-            Path(args.csv).write_text(text)
-            print(f"wrote {len(results)} records to {args.csv}", file=sys.stderr)
-        exported = True
-    if not exported:
+    if not export_result_set(results, args.json, args.csv):
         print(f"Sweep: {sweep.size} scenarios -> {len(results)} records\n")
-        rows = [
-            [
-                r["system"],
-                r["workload"],
-                (f"{r['stage']}/" if r.get("stage") else "") + r["phase"],
-                f"{r['scale']:.0f}x",
-                f"{r['time_s'] * 1e3:.3f} ms",
-                f"{r['energy_j']:.4f} J",
-            ]
-            for r in results
-        ]
-        print(format_table(list(SUMMARY_COLUMNS), rows))
+        print_summary_table(results)
 
 
 if __name__ == "__main__":

@@ -25,7 +25,7 @@ scenarios execute their plan end-to-end through
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, List, Mapping, Union
 
 from repro.api.results import ResultSet
 from repro.api.spec import SystemSpec, as_spec
@@ -140,6 +140,40 @@ class Scenario:
     def run(self) -> ResultSet:
         """Evaluate and wrap the records in a :class:`ResultSet`."""
         return ResultSet(self.records())
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (the evaluation service's wire format)."""
+        return {
+            "system": self.system
+            if isinstance(self.system, str)
+            else self.system.to_dict(),
+            "operator": self.operator,
+            "model_scale": float(self.model_scale),
+            "seed": int(self.seed),
+            "num_partitions": int(self.num_partitions),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`; systems may be preset names or
+        :class:`SystemSpec` dicts."""
+        known = {"system", "operator", "model_scale", "seed", "num_partitions"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown Scenario field(s) {unknown}; valid: {sorted(known)}"
+            )
+        missing = sorted({"system", "operator"} - set(data))
+        if missing:
+            # to_dict() always emits these; a hand-built payload that
+            # drops one should fail loudly, not evaluate a default.
+            raise ValueError(f"Scenario dict is missing required {missing}")
+        payload = dict(data)
+        if isinstance(payload["system"], Mapping):
+            payload["system"] = SystemSpec.from_dict(payload["system"])
+        return cls(**payload)
 
 
 def records_from_result(

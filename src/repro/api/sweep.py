@@ -26,7 +26,7 @@ from __future__ import annotations
 import json
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, fields
-from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.api.results import ResultSet
 from repro.api.scenario import Scenario
@@ -107,11 +107,16 @@ class Sweep:
             for scenario in scenarios:
                 records.extend(scenario.records())
             return ResultSet(records)
-        payloads = [(s, common.cache_enabled()) for s in scenarios]
+        payloads = [
+            (s, common.cache_enabled(), common.store_path()) for s in scenarios
+        ]
+        store = common.active_store()
         records = []
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for chunk in pool.map(_sweep_worker, payloads):
+            for chunk, store_delta in pool.map(_sweep_worker, payloads):
                 records.extend(chunk)
+                if store is not None and store_delta:
+                    store.merge_stats(store_delta)
         return ResultSet(records)
 
     # -- serialization ------------------------------------------------------
@@ -151,8 +156,26 @@ class Sweep:
         return cls.from_dict(data)
 
 
-def _sweep_worker(payload) -> List[Dict[str, Any]]:
-    """Process-pool entry point: (scenario, use_cache) -> records."""
-    scenario, use_cache = payload
+def _sweep_worker(payload) -> Tuple[List[Dict[str, Any]], Optional[Dict[str, int]]]:
+    """Process-pool entry point: (scenario, use_cache, store) ->
+    (records, store-counter delta).
+
+    Workers inherit the parent's persistent-store selection explicitly
+    (an env-var default would survive ``fork`` anyway, but a ``--store``
+    flag set only in the parent would not), so store writes land in one
+    shared directory regardless of worker count.  Each task reports the
+    store traffic it caused as a counter delta; the parent folds those
+    into its own handle, keeping ``--jobs N`` runs' reported store stats
+    truthful even though the I/O happened in workers.
+    """
+    scenario, use_cache, store = payload
     common.set_cache_enabled(use_cache)
-    return scenario.records()
+    if store != common.store_path():
+        common.configure_store(store)
+    handle = common.active_store()
+    before = handle.counters() if handle is not None else None
+    records = scenario.records()
+    if handle is None:
+        return records, None
+    after = handle.counters()
+    return records, {k: after[k] - before[k] for k in before}

@@ -37,6 +37,14 @@ and ``to_config()`` -- which is how the scenario API (:mod:`repro.api`)
 evaluates hardware points the paper never measured through the same
 memoization.
 
+Below the in-memory tiers sits an optional **persistent, content-
+addressed result store** (``REPRO_STORE=dir`` or the CLIs' ``--store``
+flag; :mod:`repro.service.store`): evaluated results are written as
+JSON documents keyed by a digest of the full content key, so fresh
+processes -- repeated CLI invocations, CI runs, the serving daemon's
+clients -- replay warm scenarios with zero simulation executions.
+:func:`cache_stats` reports every tier's hits/misses/evictions.
+
 :class:`ResultMatrix` is retained as a deprecated shim over the
 scenario API; :func:`format_table` forwards to its new home in
 :mod:`repro.api.results`.  New code should use
@@ -85,17 +93,73 @@ OPERATORS = ("scan", "sort", "groupby", "join")
 
 
 # ---------------------------------------------------------------------------
-# Shared, content-keyed caches (per process).
+# Cache tiers: in-process memory tiers + an optional persistent store.
 # ---------------------------------------------------------------------------
 
-_WORKLOAD_CACHE: Dict[Tuple, Any] = {}
-_RESULT_CACHE: Dict[Tuple, SystemResult] = {}
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISS = object()
+
+
+class CacheTier:
+    """One named get/put cache tier with hit/miss/eviction counters.
+
+    The memory tiers below wrap plain dicts (unbounded, so their
+    eviction count stays 0); the persistent disk tier
+    (:class:`repro.service.store.ResultStore`) exposes the same
+    ``stats()`` shape, which is what lets :func:`cache_stats` report
+    every tier uniformly.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._data: Dict[Tuple, Any] = {}
+        self._stats = {"hits": 0, "misses": 0, "evictions": 0}
+
+    def get(self, key: Tuple) -> Any:
+        """The cached value, or the module sentinel ``_MISS``."""
+        value = self._data.get(key, _MISS)
+        self._stats["hits" if value is not _MISS else "misses"] += 1
+        return value
+
+    def put(self, key: Tuple, value: Any) -> Any:
+        self._data[key] = value
+        return value
+
+    def get_or_build(self, key: Tuple, build):
+        value = self.get(key)
+        if value is _MISS:
+            value = self.put(key, build())
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._stats.update(hits=0, misses=0, evictions=0)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self._stats, entries=len(self._data))
+
+
+_WORKLOADS = CacheTier("workload")
+_RESULTS = CacheTier("result")
 _CACHE_ENABLED = True
-_CACHE_STATS = {"hits": 0, "misses": 0}
+
+#: (store root, result key) pairs already confirmed on disk, so the
+#: memory-hit write-through below costs one digest + stat per key per
+#: process instead of per hit.
+_PERSISTED: set = set()
 
 
 def set_cache_enabled(enabled: bool) -> bool:
-    """Toggle the shared caches; returns the previous setting."""
+    """Toggle the shared in-memory caches; returns the previous setting.
+
+    Only the memory tiers are affected: the persistent store (see
+    :func:`configure_store`) is an independent tier, so ``--no-cache``
+    still measures cold in-process runs while a warm store keeps
+    serving across processes.
+    """
     global _CACHE_ENABLED
     previous = _CACHE_ENABLED
     _CACHE_ENABLED = bool(enabled)
@@ -107,31 +171,188 @@ def cache_enabled() -> bool:
 
 
 def clear_caches() -> None:
-    """Drop all memoized workloads, results and machine singletons."""
+    """Drop all memoized workloads, results and machine singletons.
+
+    The persistent store is *not* cleared (it is durable by design);
+    only the handle's in-process state survives via
+    :func:`configure_store`.
+    """
     from repro.systems.machine import clear_machine_cache
 
-    _WORKLOAD_CACHE.clear()
-    _RESULT_CACHE.clear()
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    _WORKLOADS.clear()
+    _RESULTS.clear()
+    _PERSISTED.clear()
     _spec_machine.cache_clear()
     clear_machine_cache()
 
 
-def cache_stats() -> Dict[str, int]:
-    """Hit/miss counters across both caches (for reports and tests)."""
-    return dict(_CACHE_STATS)
+def cache_stats() -> Dict[str, Any]:
+    """Per-tier hit/miss/eviction counters, plus legacy aggregates.
+
+    The top-level ``hits``/``misses`` keys sum the in-memory tiers
+    (the pre-service shape); ``tiers`` breaks them down per tier and
+    adds the persistent store when one is active.
+    """
+    tiers: Dict[str, Any] = {
+        _WORKLOADS.name: _WORKLOADS.stats(),
+        _RESULTS.name: _RESULTS.stats(),
+    }
+    store = active_store()
+    if store is not None:
+        tiers["store"] = store.stats()
+    return {
+        "hits": _WORKLOADS.stats()["hits"] + _RESULTS.stats()["hits"],
+        "misses": _WORKLOADS.stats()["misses"] + _RESULTS.stats()["misses"],
+        "tiers": tiers,
+    }
 
 
-def _cache_get(cache: Dict[Tuple, Any], key: Tuple, build):
-    if not _CACHE_ENABLED:
-        return build()
-    if key in cache:
-        _CACHE_STATS["hits"] += 1
+# ---------------------------------------------------------------------------
+# The persistent store tier (REPRO_STORE / --store).
+# ---------------------------------------------------------------------------
+
+#: Environment variables configuring the default persistent tier.
+STORE_ENV = "REPRO_STORE"
+STORE_MAX_BYTES_ENV = "REPRO_STORE_MAX_BYTES"
+
+_STORE: Optional[Any] = None  # ResultStore handle (lazy import)
+_STORE_PATH: Optional[str] = None
+_STORE_EXPLICIT = False
+
+
+def configure_store(path: Optional[Any], max_bytes: Optional[int] = None):
+    """Select the persistent result-store for this process.
+
+    ``path`` is a store directory, an already-open
+    :class:`~repro.service.store.ResultStore` handle (its counters then
+    stay continuous across reconfigurations -- how the scheduler scopes
+    its store to one batch at a time), or ``None`` to revert to the
+    environment default (``REPRO_STORE``).  Returns the active handle
+    (or ``None``).  The CLIs' ``--store`` flag lands here.
+    """
+    global _STORE, _STORE_PATH, _STORE_EXPLICIT
+    if path is None:
+        _STORE, _STORE_PATH, _STORE_EXPLICIT = None, None, False
+        return active_store()
+    from repro.service.store import ResultStore
+
+    if isinstance(path, ResultStore):
+        _STORE = path
     else:
-        _CACHE_STATS["misses"] += 1
-        cache[key] = build()
-    return cache[key]
+        _STORE = ResultStore(path, max_bytes=max_bytes or _env_max_bytes())
+    _STORE_PATH = str(_STORE.root)
+    _STORE_EXPLICIT = True
+    return _STORE
+
+
+def store_selection() -> Tuple:
+    """Opaque snapshot of the store selection, for save/restore.
+
+    Lets a scoped user (the batch scheduler, tests) install its own
+    store for a window and put the process back exactly as it was:
+    ``previous = store_selection(); ...; restore_store_selection(previous)``.
+    """
+    return (_STORE_EXPLICIT, _STORE, _STORE_PATH)
+
+
+def restore_store_selection(selection: Tuple) -> None:
+    """Undo a :func:`configure_store` using a prior snapshot."""
+    global _STORE, _STORE_PATH, _STORE_EXPLICIT
+    _STORE_EXPLICIT, _STORE, _STORE_PATH = selection
+
+
+def _env_max_bytes() -> Optional[int]:
+    import os
+
+    raw = os.environ.get(STORE_MAX_BYTES_ENV)
+    return int(raw) if raw else None
+
+
+def active_store():
+    """The persistent tier in effect: explicit ``--store`` beats env.
+
+    Reads ``REPRO_STORE`` on every call (not at import), so a caller or
+    test that sets the variable mid-process still gets the tier; the
+    handle is cached per path to keep its stats continuous.
+    """
+    global _STORE, _STORE_PATH
+    if _STORE_EXPLICIT:
+        return _STORE
+    import os
+
+    env = os.environ.get(STORE_ENV)
+    if not env:
+        return None
+    if _STORE is None or _STORE_PATH != env:
+        from repro.service.store import ResultStore
+
+        _STORE = ResultStore(env, max_bytes=_env_max_bytes())
+        _STORE_PATH = env
+    return _STORE
+
+
+def store_path() -> Optional[str]:
+    """The active store's directory (for worker-process propagation)."""
+    store = active_store()
+    return str(store.root) if store is not None else None
+
+
+def store_stats() -> Optional[Dict[str, int]]:
+    """The active store's counters, or ``None`` without a store."""
+    store = active_store()
+    return store.stats() if store is not None else None
+
+
+def result_store_payload(
+    system: Any,
+    operator: str,
+    scale: float,
+    seed: int,
+    num_partitions: int,
+) -> Dict[str, Any]:
+    """The canonical key payload naming one (system, operator) result.
+
+    This is the persistent twin of :func:`run_cached_result`'s tuple
+    key: systems normalize to ``{"preset": name}`` (a no-override spec
+    digests identically to its bare preset name) or the spec's
+    ``to_dict`` form, and the functional size rides along because the
+    stored numbers describe those exact bytes.  The digest additionally
+    folds in :data:`repro.service.store.CODE_VERSION`.
+    """
+    if isinstance(system, str):
+        system_desc: Dict[str, Any] = {"preset": system}
+    elif getattr(system, "is_preset", False):
+        system_desc = {"preset": system.base}
+    else:
+        system_desc = {"spec": system.to_dict()}
+    functional_n = FUNCTIONAL_N.get(operator)
+    return {
+        "kind": "operator-result",
+        "system": system_desc,
+        "operator": operator,
+        "functional_n": list(functional_n)
+        if isinstance(functional_n, tuple)
+        else functional_n,
+        "scale": float(scale),
+        "seed": int(seed),
+        "num_partitions": int(num_partitions),
+    }
+
+
+def _store_lookup(store, payload: Dict[str, Any]) -> Tuple[str, Any]:
+    """(digest, restored result or ``_MISS``) for one store probe."""
+    from repro.service.codec import result_from_document
+    from repro.service.store import digest_payload
+
+    digest = digest_payload(payload)
+    document = store.get(digest)
+    if document is None:
+        return digest, _MISS
+    try:
+        return digest, result_from_document(document)
+    except (KeyError, TypeError, ValueError):
+        # Schema drift or a hand-edited entry: treat as a miss.
+        return digest, _MISS
 
 
 def _build_workload(operator: str, seed: int, num_partitions: int):
@@ -158,9 +379,11 @@ def make_workload(operator: str, seed: int = 17, num_partitions: int = NUM_PARTI
     """
     if operator not in FUNCTIONAL_N:
         raise ValueError(f"unknown operator {operator!r}")
+    if not _CACHE_ENABLED:
+        return _build_workload(operator, seed, num_partitions)
     key = ("workload", operator, FUNCTIONAL_N[operator], seed, num_partitions)
-    return _cache_get(
-        _WORKLOAD_CACHE, key, lambda: _build_workload(operator, seed, num_partitions)
+    return _WORKLOADS.get_or_build(
+        key, lambda: _build_workload(operator, seed, num_partitions)
     )
 
 
@@ -218,6 +441,14 @@ def run_cached_result(
     num_partitions) workload -- e.g. a :class:`ResultMatrix` running
     with the shared caches disabled -- supply it instead of having
     :func:`make_workload` rebuild it per system.
+
+    When a persistent store is active (``REPRO_STORE`` / ``--store``,
+    see :func:`configure_store`), it acts as the second cache tier:
+    memory miss -> store probe -> simulate on a store miss and write the
+    evaluated result back, so a *fresh process* replays warm sweeps with
+    zero simulation executions.  Store-restored results carry
+    ``output=None`` (the functional payload is not persisted; see
+    :mod:`repro.service.codec`).
     """
     key = (
         "result",
@@ -238,7 +469,49 @@ def run_cached_result(
             scale_factor=scale,
         )
 
-    return _cache_get(_RESULT_CACHE, key, build)
+    store = active_store()
+
+    if _CACHE_ENABLED:
+        cached = _RESULTS.get(key)
+        if cached is not _MISS:
+            marker = (str(store.root), key) if store is not None else None
+            if marker is not None and marker not in _PERSISTED:
+                # Write-through: a memory-tier hit still lands on disk
+                # (covers results computed before the store was
+                # configured, and heals evicted entries) without
+                # re-simulating anything.  Confirmed keys are memoized
+                # so repeated hits stay free of hashing and stat calls.
+                from repro.service.codec import result_to_document
+                from repro.service.store import digest_payload
+
+                digest = digest_payload(
+                    result_store_payload(
+                        system, operator, scale, seed, num_partitions
+                    )
+                )
+                if not store.contains(digest):
+                    store.put(digest, result_to_document(cached))
+                _PERSISTED.add(marker)
+            return cached
+
+    if store is not None:
+        digest, restored = _store_lookup(
+            store,
+            result_store_payload(system, operator, scale, seed, num_partitions),
+        )
+        if restored is _MISS:
+            from repro.service.codec import result_to_document
+
+            restored = build()
+            store.put(digest, result_to_document(restored))
+        _PERSISTED.add((str(store.root), key))
+        result = restored
+    else:
+        result = build()
+
+    if _CACHE_ENABLED:
+        _RESULTS.put(key, result)
+    return result
 
 
 class ResultMatrix:

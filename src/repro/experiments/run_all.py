@@ -119,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
              "JSON records (honours --jobs and --no-cache; "
              "python -m repro.api adds CSV export and inline grids)",
     )
+    parser.add_argument(
+        "--store", metavar="DIR",
+        help="persistent content-addressed result store directory "
+             "(second cache tier below the in-memory memoization; "
+             "default: $REPRO_STORE if set)",
+    )
     return parser
 
 
@@ -150,9 +156,11 @@ def render_section(key: str, scale: float) -> str:
 
 
 def _render_worker(payload) -> str:
-    """Process-pool entry point: (key, scale, use_cache) -> section text."""
-    key, scale, use_cache = payload
+    """Process-pool entry point: (key, scale, use_cache, store) -> text."""
+    key, scale, use_cache, store = payload
     common.set_cache_enabled(use_cache)
+    if store != common.store_path():
+        common.configure_store(store)
     return render_section(key, scale)
 
 
@@ -160,7 +168,10 @@ def run_paper_report(scale: float, jobs: int = 1) -> None:
     """The paper-artifact report (default mode)."""
     keys = [key for key, _, _, _ in SECTIONS]
     if jobs > 1:
-        payloads = [(key, scale, common.cache_enabled()) for key in keys]
+        payloads = [
+            (key, scale, common.cache_enabled(), common.store_path())
+            for key in keys
+        ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             for text in pool.map(_render_worker, payloads):
                 print(text)
@@ -195,6 +206,8 @@ def main(argv=None) -> None:
         raise SystemExit("--jobs must be >= 1")
     if args.no_cache:
         common.set_cache_enabled(False)
+    if args.store:
+        common.configure_store(args.store)
     scale = FAST_SCALE if args.fast else MODEL_SCALE
 
     start = time.time()

@@ -1,0 +1,136 @@
+"""Command-line front end: ``python -m repro.service``.
+
+Subcommands::
+
+    python -m repro.service serve  --store DIR [--host H] [--port P] [--jobs N]
+    python -m repro.service submit --sweep SPEC.json [--host H] [--port P] [--json OUT]
+    python -m repro.service stats  [--host H] [--port P]
+    python -m repro.service ping   [--host H] [--port P]
+
+``serve`` runs the daemon in the foreground and prints
+``repro.service: serving on HOST:PORT`` once bound (``--port 0`` picks
+an ephemeral port -- scripts parse that line to find it).  ``submit``
+sends a sweep grid to a running daemon and exports the returned
+``ResultSet`` exactly like ``python -m repro.api`` does; ``stats`` and
+``ping`` are one-line JSON reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.service.client import ServiceClient
+from repro.service.daemon import DEFAULT_PORT, serve
+
+
+def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="H",
+        help="daemon address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, metavar="P",
+        help=f"daemon TCP port (default {DEFAULT_PORT})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The service CLI (kept separate so tooling can inspect the flags)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve_p = commands.add_parser(
+        "serve", help="run the evaluation daemon in the foreground"
+    )
+    _add_endpoint_args(serve_p)
+    serve_p.add_argument(
+        "--store", metavar="DIR",
+        help="persistent result-store directory shared by all clients "
+             "(default: $REPRO_STORE if set; without either, the daemon "
+             "still batches and memoizes in memory)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool width for store misses (default 1)",
+    )
+    serve_p.add_argument(
+        "--max-bytes", type=int, default=None, metavar="B",
+        help="LRU-evict store entries beyond this total payload size",
+    )
+
+    submit_p = commands.add_parser(
+        "submit", help="submit a sweep grid to a running daemon"
+    )
+    _add_endpoint_args(submit_p)
+    submit_p.add_argument(
+        "--sweep", metavar="SPEC.json", required=True,
+        help="sweep grid JSON file (same format as python -m repro.api)",
+    )
+    submit_p.add_argument(
+        "--json", metavar="PATH",
+        help="write the returned ResultSet as JSON ('-' for stdout)",
+    )
+    submit_p.add_argument(
+        "--csv", metavar="PATH",
+        help="write the returned ResultSet as CSV ('-' for stdout)",
+    )
+
+    for name, help_text in (
+        ("stats", "print a running daemon's request/scheduler/store stats"),
+        ("ping", "check a daemon is alive and which store it serves"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        _add_endpoint_args(sub)
+    return parser
+
+
+def _cmd_serve(args) -> None:
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    serve(
+        host=args.host,
+        port=args.port,
+        store=args.store,
+        jobs=args.jobs,
+        max_bytes=args.max_bytes,
+    )
+
+
+def _cmd_submit(args) -> None:
+    from repro.api.__main__ import export_result_set, print_summary_table
+
+    grid = json.loads(Path(args.sweep).read_text())
+    with ServiceClient(args.host, args.port) as client:
+        results = client.sweep(grid)
+    if not export_result_set(results, args.json, args.csv):
+        print_summary_table(results)
+
+
+def _cmd_stats(args) -> None:
+    with ServiceClient(args.host, args.port) as client:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+
+
+def _cmd_ping(args) -> None:
+    with ServiceClient(args.host, args.port) as client:
+        print(json.dumps(client.ping(), indent=2, sort_keys=True))
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    {
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "stats": _cmd_stats,
+        "ping": _cmd_ping,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    main()

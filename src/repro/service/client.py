@@ -1,0 +1,129 @@
+"""Blocking client for the evaluation daemon.
+
+Speaks the daemon's newline-delimited JSON protocol over one persistent
+TCP connection.  Results come back as the same tidy records
+``Sweep.run`` produces, re-wrapped in a
+:class:`~repro.api.results.ResultSet` -- so a remote sweep and an
+in-process sweep are drop-in interchangeable:
+
+    with ServiceClient(host, port) as client:
+        rs = client.sweep({"systems": ["cpu"], "workloads": ["scan"],
+                           "scales": [50.0], "num_partitions": [8]})
+        rs.to_json("out.json")
+
+Errors the daemon reports (unknown verbs, invalid scenarios) raise
+:class:`ServiceError` with the server's message; transport failures
+raise the underlying ``OSError``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.api.results import ResultSet
+from repro.api.scenario import Scenario
+from repro.api.sweep import Sweep
+
+from repro.service.daemon import DEFAULT_PORT
+
+
+class ServiceError(RuntimeError):
+    """The daemon processed the request and reported a failure."""
+
+
+class ServiceClient:
+    """One connection to a running evaluation daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+
+    # -- connection management ----------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._reader = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._reader.close()
+                self._sock.close()
+            finally:
+                self._sock, self._reader = None, None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the wire ------------------------------------------------------------
+
+    def call(self, verb: str, **payload: Any) -> Any:
+        """One request/response round trip; returns the ``result``.
+
+        Any transport failure (timeout included) closes the connection:
+        a response that arrives after a timeout would otherwise sit in
+        the buffer and be read as the answer to the *next* request.
+        The next call reconnects transparently.
+        """
+        self.connect()
+        request = {"verb": verb, **payload}
+        try:
+            self._sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+            line = self._reader.readline()
+            response = json.loads(line) if line else None
+        except (OSError, ValueError):
+            self.close()
+            raise
+        if response is None:
+            self.close()
+            raise ServiceError(
+                f"daemon at {self.host}:{self.port} closed the connection"
+            )
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown daemon error"))
+        return response["result"]
+
+    # -- verbs ---------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Daemon identity: service name, version, pid, store directory."""
+        return self.call("ping")
+
+    def stats(self) -> Dict[str, Any]:
+        """Request counters plus scheduler/cache/store statistics."""
+        return self.call("stats")
+
+    def evaluate(self, scenario: Union[Scenario, Mapping[str, Any]]) -> ResultSet:
+        """Evaluate one scenario remotely."""
+        if isinstance(scenario, Scenario):
+            scenario = scenario.to_dict()
+        result = self.call("evaluate", scenario=dict(scenario))
+        return ResultSet(result["records"])
+
+    def sweep(self, sweep: Union[Sweep, Mapping[str, Any]]) -> ResultSet:
+        """Evaluate a whole sweep grid remotely."""
+        if isinstance(sweep, Sweep):
+            sweep = sweep.to_dict()
+        result = self.call("sweep", sweep=dict(sweep))
+        return ResultSet(result["records"])
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to stop serving (acknowledged before exit)."""
+        return self.call("shutdown")

@@ -55,16 +55,26 @@ def test_doc_block_executes(source, block):
 
 def test_usage_flags_match_cli_parsers():
     """Every --flag named in the docs must exist on a real parser
-    (run_all's or the scenario-API CLI's), and the flags the docs
+    (run_all's, the scenario-API CLI's, or the service CLI's -- the
+    service parser's subcommand flags included), and the flags the docs
     promise must actually be documented."""
+    import argparse
+
     from repro.api.__main__ import build_parser as api_parser
     from repro.experiments.run_all import build_parser as run_all_parser
+    from repro.service.__main__ import build_parser as service_parser
+
+    def walk(parser):
+        for action in parser._actions:
+            yield from action.option_strings
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    yield from walk(sub)
 
     parser_flags = {
         opt
-        for parser in (run_all_parser(), api_parser())
-        for action in parser._actions
-        for opt in action.option_strings
+        for parser in (run_all_parser(), api_parser(), service_parser())
+        for opt in walk(parser)
     }
     for path in (ROOT / "docs" / "USAGE.md", ROOT / "README.md"):
         documented = set(re.findall(r"(--[a-z][a-z0-9-]*)", path.read_text()))

@@ -39,6 +39,24 @@ class TestCommon:
         b = matrix.result("cpu", "scan")
         assert a is b
 
+    def test_result_matrix_deprecation_warns_once_per_construction(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ResultMatrix(systems=("cpu",), operators=("scan",), scale=10.0)
+        ours = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(ours) == 1  # exactly once per construction
+        assert "repro.api.Scenario" in str(ours[0].message)
+        # stacklevel=2: the warning points at *this* file, not common.py.
+        assert ours[0].filename == __file__
+
+    def test_result_matrix_usable_after_warning(self):
+        with pytest.warns(DeprecationWarning):
+            matrix = ResultMatrix(systems=("cpu",), operators=("scan",), scale=10.0)
+        results = matrix.all_results()
+        assert set(results) == {("cpu", "scan")}
+
     def test_format_table(self):
         out = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
         lines = out.splitlines()
