@@ -4,10 +4,16 @@
 PY ?= python
 export PYTHONPATH := src
 
-#: Current perf-trajectory point; bump per perf PR (BENCH_PR5.json, ...).
-BENCH_JSON ?= BENCH_PR4.json
+#: Current perf-trajectory point; bump per perf PR (BENCH_PR6.json, ...).
+BENCH_JSON ?= BENCH_PR5.json
 
-.PHONY: test docs-check report pipelines sweep-smoke service-smoke bench bench-compare
+#: Experiment profiled by `make profile` (fig6, fig7, ..., table5, skew).
+EXPERIMENT ?= fig6
+
+#: Max tolerated per-benchmark regression (percent) in bench-compare.
+MAX_REGRESSION ?= 10
+
+.PHONY: test docs-check report pipelines sweep-smoke service-smoke bench bench-compare profile
 
 ## Tier-1 verification: full unit/integration/experiment + benchmark
 ## suite, then the sweep-smoke and service-smoke golden checks.
@@ -55,6 +61,12 @@ bench:
 	$(PY) -m pytest -q benchmarks --benchmark-json $(BENCH_JSON)
 
 ## Diff the two newest committed BENCH_*.json trajectory points
-## (or: make bench-compare ARGS="NEW.json OLD.json").
+## (or: make bench-compare ARGS="NEW.json OLD.json"), failing if any
+## shared benchmark regressed more than MAX_REGRESSION percent.
 bench-compare:
-	$(PY) benchmarks/compare.py $(or $(ARGS),--latest)
+	$(PY) benchmarks/compare.py $(or $(ARGS),--latest) --max-regression $(MAX_REGRESSION)
+
+## Profile one experiment under cProfile and print the top-25
+## cumulative-time report: make profile EXPERIMENT=fig7
+profile:
+	$(PY) benchmarks/profile_experiment.py $(EXPERIMENT)

@@ -4,11 +4,14 @@ Usage::
 
     python benchmarks/compare.py NEW.json OLD.json   # explicit pair
     python benchmarks/compare.py --latest            # newest two BENCH_*.json
+    python benchmarks/compare.py --latest --max-regression 10
 
 Prints per-benchmark mean times and the speedup of NEW over OLD
 (>1x means NEW is faster), plus benchmarks present in only one file.
-Exits non-zero only on usage errors -- the comparison is informational,
-the repo's perf gate is the committed BENCH file trajectory itself.
+By default the comparison is informational (exits non-zero only on
+usage errors); with ``--max-regression PCT`` any shared benchmark whose
+mean regressed more than PCT percent is flagged and the exit status is
+non-zero -- the perf gate ``make bench-compare`` runs in CI.
 
 No third-party dependencies: runs anywhere the repo's Python does.
 """
@@ -56,8 +59,28 @@ def fmt_seconds(seconds: float) -> str:
     return f"{seconds:.2f} s"
 
 
-def compare(new_path: Path, old_path: Path) -> str:
-    new, old = load_means(new_path), load_means(old_path)
+def find_regressions(
+    new: dict, old: dict, max_regression_pct: float
+) -> list:
+    """Shared benchmarks whose NEW mean exceeds OLD by > the threshold.
+
+    Returns ``(name, old_mean, new_mean, regression_pct)`` tuples,
+    worst first.
+    """
+    regressions = []
+    for name in sorted(set(new) & set(old)):
+        if old[name] <= 0:
+            continue
+        pct = (new[name] / old[name] - 1.0) * 100.0
+        if pct > max_regression_pct:
+            regressions.append((name, old[name], new[name], pct))
+    regressions.sort(key=lambda item: -item[3])
+    return regressions
+
+
+def compare(new_path: Path, old_path: Path, new=None, old=None) -> str:
+    new = load_means(new_path) if new is None else new
+    old = load_means(old_path) if old is None else old
     shared = sorted(set(new) & set(old))
     lines = [f"Benchmark comparison: {new_path.name} vs {old_path.name}", ""]
     header = f"{'benchmark':<44}  {'old':>10}  {'new':>10}  {'speedup':>8}"
@@ -82,13 +105,20 @@ def compare(new_path: Path, old_path: Path) -> str:
     return "\n".join(lines)
 
 
-def main(argv=None) -> None:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("files", nargs="*", type=Path,
                         help="NEW.json OLD.json (pytest-benchmark output)")
     parser.add_argument("--latest", action="store_true",
                         help="compare the two newest BENCH_*.json in the repo root")
-    args = parser.parse_args(argv)
+    parser.add_argument("--max-regression", type=float, default=None, metavar="PCT",
+                        help="fail (exit 1) if any shared benchmark's mean "
+                             "regressed more than PCT percent vs OLD")
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
     if args.latest:
         if args.files:
             raise SystemExit("pass either --latest or two files, not both")
@@ -100,7 +130,25 @@ def main(argv=None) -> None:
     for path in (new_path, old_path):
         if not path.is_file():
             raise SystemExit(f"no such benchmark file: {path}")
-    print(compare(new_path, old_path))
+    new, old = load_means(new_path), load_means(old_path)
+    print(compare(new_path, old_path, new=new, old=old))
+    if args.max_regression is not None:
+        regressions = find_regressions(new, old, args.max_regression)
+        if regressions:
+            print(
+                f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+                f"{args.max_regression:g}% vs {old_path.name}:"
+            )
+            for name, old_mean, new_mean, pct in regressions:
+                print(
+                    f"  {name}: {fmt_seconds(old_mean)} -> "
+                    f"{fmt_seconds(new_mean)}  (+{pct:.1f}%)"
+                )
+            raise SystemExit(1)
+        print(
+            f"\nOK: no shared benchmark regressed more than "
+            f"{args.max_regression:g}%."
+        )
 
 
 if __name__ == "__main__":

@@ -107,10 +107,17 @@ class Relation:
 
     def multiset_equal(self, other: "Relation") -> bool:
         """Order-insensitive equality -- the permutability correctness
-        criterion (same tuples, any arrangement)."""
+        criterion (same tuples, any arrangement).
+
+        Both sides are brought to (key, payload) order by sorting the
+        columns (a structured-dtype ``np.sort(order=...)`` would
+        re-promote the tuple dtype on every call) and compared
+        column-wise.
+        """
         if len(self) != len(other):
             return False
-        return np.array_equal(
-            np.sort(self._data, order=("key", "payload")),
-            np.sort(other._data, order=("key", "payload")),
+        mine = np.lexsort((self.payloads, self.keys))
+        theirs = np.lexsort((other.payloads, other.keys))
+        return np.array_equal(self.keys[mine], other.keys[theirs]) and np.array_equal(
+            self.payloads[mine], other.payloads[theirs]
         )

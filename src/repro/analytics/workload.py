@@ -15,11 +15,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import List
+from typing import TYPE_CHECKING, List
 
 import numpy as np
 
 from repro.analytics.tuples import Relation
+
+if TYPE_CHECKING:  # pragma: no cover -- see _flat_columns
+    from repro.columnar.soa import SegmentedColumns
+
+
+def _flat_columns(partitions: List[Relation]) -> "SegmentedColumns":
+    """Flatten partitions into a zero-copy SoA view.
+
+    Imported lazily: ``repro.columnar.soa`` imports this package's
+    ``tuples`` module, so a top-level import here would close an import
+    cycle for any process whose *first* import is ``repro.columnar``.
+    """
+    from repro.columnar.soa import SegmentedColumns
+
+    return SegmentedColumns.from_relations(partitions)
 
 #: Keys fit in 48 bits by default, leaving high bits predictably zero-free.
 DEFAULT_KEY_SPACE_BITS = 48
@@ -76,6 +91,17 @@ class ScanWorkload:
         frozen with the dataclass, so the sum can never go stale)."""
         return sum(len(p) for p in self.partitions)
 
+    @cached_property
+    def flat(self) -> "SegmentedColumns":
+        """Zero-copy SoA view over all partitions (one segment each).
+
+        Workload partitions come from :func:`split_relation`, i.e. they
+        are consecutive slices of one backing array, so flattening them
+        copies nothing; segmented operators consume this view instead of
+        looping the partition list.
+        """
+        return _flat_columns(self.partitions)
+
 
 @dataclass(frozen=True)
 class SortWorkload:
@@ -94,6 +120,11 @@ class SortWorkload:
         """Total tuples, summed once and cached (partition lists are
         frozen with the dataclass, so the sum can never go stale)."""
         return sum(len(p) for p in self.partitions)
+
+    @cached_property
+    def flat(self) -> "SegmentedColumns":
+        """Zero-copy SoA view over all partitions (one segment each)."""
+        return _flat_columns(self.partitions)
 
 
 @dataclass(frozen=True)
@@ -119,6 +150,11 @@ class GroupByWorkload:
         frozen with the dataclass, so the sum can never go stale)."""
         return sum(len(p) for p in self.partitions)
 
+    @cached_property
+    def flat(self) -> "SegmentedColumns":
+        """Zero-copy SoA view over all partitions (one segment each)."""
+        return _flat_columns(self.partitions)
+
 
 @dataclass(frozen=True)
 class JoinWorkload:
@@ -138,6 +174,16 @@ class JoinWorkload:
     def total_tuples(self) -> int:
         """Cached: see the note on :attr:`ScanWorkload.total_tuples`."""
         return self.n_r + self.n_s
+
+    @cached_property
+    def r_flat(self) -> "SegmentedColumns":
+        """Zero-copy SoA view over R's partitions (one segment each)."""
+        return _flat_columns(self.r_partitions)
+
+    @cached_property
+    def s_flat(self) -> "SegmentedColumns":
+        """Zero-copy SoA view over S's partitions (one segment each)."""
+        return _flat_columns(self.s_partitions)
 
     @cached_property
     def n_r(self) -> int:

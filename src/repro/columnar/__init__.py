@@ -1,0 +1,43 @@
+"""Segmented columnar kernel layer: whole-relation SoA operations.
+
+A partitioned relation -- the list of per-partition :class:`Relation`
+slices every operator consumes -- is re-expressed as flat
+structure-of-arrays columns (``keys``, ``payloads``) plus a ``segments``
+offset array (:class:`SegmentedColumns`).  The kernels here then perform
+the per-partition work of the hot operators as single whole-relation
+numpy operations: a segmented stable sort is one composite
+``(segment, key)`` lexsort instead of hundreds of partition-sized
+argsorts, segmented aggregation is a handful of ``bincount`` /
+``reduceat`` / row-sum calls, and the batched shuffle materialization
+builds every destination partition with one gather/scatter pass.
+
+Every kernel is byte-identical to the per-partition reference
+implementation it replaces (the operators keep those paths behind
+``segmented=False``); ``tests/test_columnar.py`` pins the equivalence.
+"""
+
+# NOTE: repro.columnar.hashtable (SegmentedLinearProbingTable) is not
+# re-exported here: it imports the scalar table from repro.operators,
+# and the shuffle engine imports repro.columnar.soa -- pulling the
+# operators package into this __init__ would close an import cycle.
+from repro.columnar.kernels import (
+    segment_ids,
+    segmented_bitonic_runs,
+    segmented_mergesort,
+    segmented_searchsorted,
+    segmented_sorted_groups,
+    segmented_stable_argsort,
+    sorted_group_aggregates,
+)
+from repro.columnar.soa import SegmentedColumns
+
+__all__ = [
+    "SegmentedColumns",
+    "segment_ids",
+    "segmented_bitonic_runs",
+    "segmented_mergesort",
+    "segmented_searchsorted",
+    "segmented_sorted_groups",
+    "segmented_stable_argsort",
+    "sorted_group_aggregates",
+]

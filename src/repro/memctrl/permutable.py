@@ -233,6 +233,35 @@ class ShuffleBarrier:
             raise ValueError(f"source {src} already announced to vault {dest}")
         self._announced[dest][src] = size_b
 
+    def announce_all(self, sizes_b: np.ndarray) -> None:
+        """Bulk shuffle_begin: one call covering every (src, dest) pair.
+
+        Equivalent to ``announce(src, dest, sizes_b[src, dest])`` for
+        every pair, leaving identical barrier state; the segmented
+        shuffle engine uses it so the announcement exchange is one
+        histogram-matrix pass instead of ``sources x destinations``
+        method calls.
+        """
+        if self._sealed:
+            raise RuntimeError("cannot announce after the barrier is sealed")
+        sizes = np.asarray(sizes_b)
+        if sizes.ndim != 2:
+            raise ValueError("sizes_b must be a (sources, destinations) matrix")
+        num_src, num_dest = sizes.shape
+        if num_src > self._num_vaults or num_dest > self._num_vaults:
+            raise ValueError("announcement matrix exceeds the vault count")
+        if num_src and num_dest and int(sizes.min()) < 0:
+            raise ValueError("announced size must be non-negative")
+        for dest in range(num_dest):
+            announced = self._announced[dest]
+            col = sizes[:, dest].tolist()
+            for src in range(num_src):
+                if src in announced:
+                    raise ValueError(
+                        f"source {src} already announced to vault {dest}"
+                    )
+                announced[src] = col[src]
+
     def seal(self) -> None:
         """shuffle_begin step 2: all announcements exchanged; totals fixed.
 

@@ -22,6 +22,13 @@ import numpy as np
 
 from repro.analytics.tuples import TUPLE_B, Relation
 from repro.analytics.workload import GroupByWorkload
+from repro.columnar import (
+    SegmentedColumns,
+    segmented_mergesort,
+    segmented_sorted_groups,
+    segmented_stable_argsort,
+    sorted_group_aggregates,
+)
 from repro.operators import costs
 from repro.operators.base import PHASE_PROBE, OperatorRun, OperatorVariant, PhaseCost
 from repro.operators.hashtable import LinearProbingHashTable
@@ -189,29 +196,139 @@ def _sort_groupby_partition(part: Relation, simd: bool) -> Dict[int, Dict[str, f
     return _aggregate_sorted(sorted_data["key"], sorted_data["payload"])
 
 
+def _groups_dict(
+    group_keys: np.ndarray,
+    aggregates,
+) -> Dict[int, Dict[str, float]]:
+    """Assemble the per-group output dict, detecting misrouted keys.
+
+    Insertion order matches the per-partition reference (partition by
+    partition, keys ascending within each); a key surfacing in two
+    partitions means the shuffle misrouted tuples, exactly the
+    per-partition overlap check.
+    """
+    counts, sums, mins, maxs, avgs, sumsqs = aggregates
+    uniq, dup_counts = np.unique(group_keys, return_counts=True)
+    if len(uniq) != len(group_keys):
+        overlap = set(uniq[dup_counts > 1].tolist())
+        raise AssertionError(f"group keys split across partitions: {overlap}")
+    return {
+        key: {
+            "count": count,
+            "sum": total,
+            "min": mn,
+            "max": mx,
+            "avg": avg,
+            "sumsq": sumsq,
+        }
+        for key, count, total, mn, mx, avg, sumsq in zip(
+            group_keys.tolist(),
+            counts.tolist(),
+            sums.tolist(),
+            mins.tolist(),
+            maxs.tolist(),
+            avgs.tolist(),
+            sumsqs.tolist(),
+        )
+    }
+
+
+def _sort_groupby_segmented(
+    columns: SegmentedColumns, simd: bool
+) -> Dict[int, Dict[str, float]]:
+    """All partitions' sort-based grouping as whole-relation kernels.
+
+    Byte-identical to mergesorting and sequentially folding each
+    partition: the segmented mergesort reproduces the per-partition
+    sort, and :func:`~repro.columnar.sorted_group_aggregates` reproduces
+    the per-group float arithmetic bit-for-bit.
+    """
+    keys, payloads = segmented_mergesort(
+        columns.keys, columns.payloads, columns.segments, bitonic_initial=simd
+    )
+    starts, lens, _ = segmented_sorted_groups(keys, columns.segments)
+    values = payloads.astype(np.float64)
+    aggregates = sorted_group_aggregates(values, starts, lens)
+    return _groups_dict(keys[starts], aggregates)
+
+
+def _hash_groupby_segmented(columns: SegmentedColumns) -> Dict[int, Dict[str, float]]:
+    """All partitions' hash-based grouping as whole-relation kernels.
+
+    The reference assigns each partition's tuples group ids via the
+    linear-probing table over its unique keys (ids are indices into the
+    sorted unique-key array) and folds the aggregates with ``bincount``
+    / ``minimum.at`` in partition arrival order.  The segmented twin
+    computes the same group ids for *all* partitions with one composite
+    sort and folds with the same ufuncs over the flat arrays --
+    ``bincount`` accumulation is strictly sequential in input order and
+    group bins never cross segments, so every float matches.
+    """
+    order = segmented_stable_argsort(columns.keys, columns.segments)
+    sorted_keys = columns.keys[order]
+    starts, _, _ = segmented_sorted_groups(sorted_keys, columns.segments)
+    num_groups = len(starts)
+    gid_sorted = np.zeros(len(sorted_keys), dtype=np.int64)
+    if len(sorted_keys):
+        new_group = np.zeros(len(sorted_keys), dtype=np.int64)
+        new_group[starts] = 1
+        gid_sorted = np.cumsum(new_group) - 1
+    gid = np.empty(len(sorted_keys), dtype=np.int64)
+    gid[order] = gid_sorted
+    values = columns.payloads.astype(np.float64)
+    counts = np.bincount(gid, minlength=num_groups)
+    sums = np.bincount(gid, weights=values, minlength=num_groups)
+    sumsqs = np.bincount(gid, weights=values * values, minlength=num_groups)
+    mins = np.full(num_groups, np.inf)
+    maxs = np.full(num_groups, -np.inf)
+    np.minimum.at(mins, gid, values)
+    np.maximum.at(maxs, gid, values)
+    avgs = sums / counts  # every group has >= 1 member
+    aggregates = (counts.astype(np.float64), sums, mins, maxs, avgs, sumsqs)
+    return _groups_dict(sorted_keys[starts], aggregates)
+
+
 def run_groupby(
-    workload: GroupByWorkload, variant: OperatorVariant, model_scale: float = 1.0
+    workload: GroupByWorkload,
+    variant: OperatorVariant,
+    model_scale: float = 1.0,
+    segmented: bool = True,
 ) -> OperatorRun:
-    """Execute Group by functionally under the given variant and cost it."""
+    """Execute Group by functionally under the given variant and cost it.
+
+    ``segmented=False`` keeps the per-partition reference probe; the
+    default folds every partition's groups with the whole-relation
+    kernels of :mod:`repro.columnar`.
+    """
     partitioned = run_partitioning(
         workload.partitions,
         variant,
         SCHEME_LOW_BITS,
         workload.key_space_bits,
         model_scale=model_scale,
+        segmented=segmented,
     )
-    groups: Dict[int, Dict[str, float]] = {}
-    for part in partitioned.partitions:
+    if segmented and partitioned.shuffle.columns is not None:
+        columns = partitioned.shuffle.columns
         if variant.probe_algorithm == "hash":
-            part_groups = _hash_groupby_partition(part)
+            groups = _hash_groupby_segmented(columns)
         else:
-            part_groups = _sort_groupby_partition(part, variant.simd)
-        overlap = groups.keys() & part_groups.keys()
-        if overlap:
-            # Low-bit partitioning sends equal keys to one partition, so
-            # a key seen twice means the shuffle misrouted tuples.
-            raise AssertionError(f"group keys split across partitions: {overlap}")
-        groups.update(part_groups)
+            groups = _sort_groupby_segmented(columns, variant.simd)
+    else:
+        groups = {}
+        for part in partitioned.partitions:
+            if variant.probe_algorithm == "hash":
+                part_groups = _hash_groupby_partition(part)
+            else:
+                part_groups = _sort_groupby_partition(part, variant.simd)
+            overlap = groups.keys() & part_groups.keys()
+            if overlap:
+                # Low-bit partitioning sends equal keys to one partition,
+                # so a key seen twice means the shuffle misrouted tuples.
+                raise AssertionError(
+                    f"group keys split across partitions: {overlap}"
+                )
+            groups.update(part_groups)
 
     n = workload.total_tuples
     num_groups = len(groups)

@@ -22,6 +22,13 @@ import numpy as np
 
 from repro.analytics.tuples import TUPLE_B, Relation
 from repro.analytics.workload import JoinWorkload
+from repro.columnar import (
+    SegmentedColumns,
+    segment_ids,
+    segmented_mergesort,
+    segmented_searchsorted,
+)
+from repro.columnar.hashtable import SegmentedLinearProbingTable
 from repro.operators import costs
 from repro.operators.base import PHASE_PROBE, OperatorRun, OperatorVariant, PhaseCost
 from repro.operators.hashtable import LinearProbingHashTable
@@ -182,14 +189,95 @@ def _merge_join_partition(r: Relation, s: Relation, simd: bool) -> tuple:
     return matches, checksum
 
 
+def _hash_join_segmented(
+    r_cols: SegmentedColumns, s_cols: SegmentedColumns
+) -> tuple:
+    """Hash join of all partitions at once; returns (matches, checksum,
+    per-partition probe steps).
+
+    Builds every partition's linear-probing table inside one
+    :class:`~repro.columnar.hashtable.SegmentedLinearProbingTable` and
+    probes them together.  Partitions with an empty R side build no
+    table and probe nothing, contributing the reference's sentinel 1.0
+    probe-step figure.  Collision behaviour, per-partition step counts
+    (which feed the cost model) and the checksum are all byte-identical
+    to the per-partition loop.
+    """
+    r_lens = r_cols.segment_lengths()
+    s_lens = s_cols.segment_lengths()
+    active = r_lens > 0
+    probe_steps = np.ones(len(r_lens), dtype=np.float64)
+    if not np.any(active):
+        return 0, 0, probe_steps.tolist()
+    # Remap active segments to dense table indices.
+    table_idx = np.cumsum(active) - 1
+    r_mask = np.repeat(active, r_lens)
+    s_mask = np.repeat(active, s_lens)
+    table = SegmentedLinearProbingTable(
+        r_lens[active], costs.HASH_TABLE_LOAD_FACTOR
+    )
+    r_segs = table_idx[segment_ids(r_cols.segments)[r_mask]]
+    table.insert_batch(r_cols.keys[r_mask], r_cols.payloads[r_mask], r_segs)
+    s_keys = s_cols.keys[s_mask]
+    s_payloads = s_cols.payloads[s_mask]
+    s_segs = table_idx[segment_ids(s_cols.segments)[s_mask]]
+    payloads, found = table.lookup_batch(s_keys, s_segs)
+    matches = int(np.count_nonzero(found))
+    checksum = _payload_checksum(payloads[found], s_payloads[found])
+    # lookup_probe_steps / max(1, len(s)) per partition, as the scalar
+    # table reports them.
+    probe_steps[active] = table.lookup_probe_steps / np.maximum(
+        1, s_lens[active]
+    )
+    return matches, checksum, probe_steps.tolist()
+
+
+def _merge_join_segmented(
+    r_cols: SegmentedColumns,
+    s_cols: SegmentedColumns,
+    simd: bool,
+    key_space_bits: int,
+) -> tuple:
+    """Sort-merge join of all partitions at once; returns (matches,
+    checksum).
+
+    Segmented mergesort on both sides, then one per-segment
+    ``searchsorted`` (composite-key kernel); partitions where either
+    side is empty contribute nothing, matching the reference's early
+    return.
+    """
+    r_keys, r_payloads = segmented_mergesort(
+        r_cols.keys, r_cols.payloads, r_cols.segments, bitonic_initial=simd
+    )
+    s_keys, s_payloads = segmented_mergesort(
+        s_cols.keys, s_cols.payloads, s_cols.segments, bitonic_initial=simd
+    )
+    if len(r_keys) == 0 or len(s_keys) == 0:
+        return 0, 0
+    idx, valid = segmented_searchsorted(
+        r_keys, r_cols.segments, s_keys, s_cols.segments, key_space_bits
+    )
+    found = valid & (r_keys[idx] == s_keys)
+    matches = int(np.count_nonzero(found))
+    checksum = _payload_checksum(r_payloads[idx[found]], s_payloads[found])
+    return matches, checksum
+
+
 def run_join(
-    workload: JoinWorkload, variant: OperatorVariant, model_scale: float = 1.0
+    workload: JoinWorkload,
+    variant: OperatorVariant,
+    model_scale: float = 1.0,
+    segmented: bool = True,
 ) -> OperatorRun:
     """Execute Join functionally under the given variant and cost it.
 
     ``model_scale`` sizes the cost model's relations relative to the
     functionally executed ones (see :func:`run_partitioning`); sort pass
     counts and hash-table regions are computed at model size.
+
+    ``segmented=False`` keeps the per-partition reference probe; the
+    default joins all partitions with the whole-relation kernels of
+    :mod:`repro.columnar`.
     """
     r_part = run_partitioning(
         workload.r_partitions,
@@ -198,6 +286,7 @@ def run_join(
         workload.key_space_bits,
         label_prefix="R-",
         model_scale=model_scale,
+        segmented=segmented,
     )
     s_part = run_partitioning(
         workload.s_partitions,
@@ -206,19 +295,34 @@ def run_join(
         workload.key_space_bits,
         label_prefix="S-",
         model_scale=model_scale,
+        segmented=segmented,
     )
 
-    matches = 0
-    checksum = 0
     probe_steps = []
-    for r, s in zip(r_part.partitions, s_part.partitions):
+    if (
+        segmented
+        and r_part.shuffle.columns is not None
+        and s_part.shuffle.columns is not None
+    ):
+        r_cols, s_cols = r_part.shuffle.columns, s_part.shuffle.columns
         if variant.probe_algorithm == "hash":
-            m, c, steps = _hash_join_partition(r, s)
-            probe_steps.append(steps)
+            matches, checksum, probe_steps = _hash_join_segmented(r_cols, s_cols)
         else:
-            m, c = _merge_join_partition(r, s, variant.simd)
-        matches += m
-        checksum = (checksum + c) % (1 << 64)
+            matches, checksum = _merge_join_segmented(
+                r_cols, s_cols, variant.simd, workload.key_space_bits
+            )
+        checksum %= 1 << 64
+    else:
+        matches = 0
+        checksum = 0
+        for r, s in zip(r_part.partitions, s_part.partitions):
+            if variant.probe_algorithm == "hash":
+                m, c, steps = _hash_join_partition(r, s)
+                probe_steps.append(steps)
+            else:
+                m, c = _merge_join_partition(r, s, variant.simd)
+            matches += m
+            checksum = (checksum + c) % (1 << 64)
 
     model_n_r = int(round(workload.n_r * model_scale))
     model_n_s = int(round(workload.n_s * model_scale))

@@ -22,10 +22,9 @@ from repro.analytics.workload import (
 
 
 def _concat(parts: List[Relation]) -> Relation:
-    out = parts[0]
-    for p in parts[1:]:
-        out = out.concat(p)
-    return out
+    # One concatenation: the pairwise loop recopied the growing prefix
+    # (quadratic) and re-promoted the structured dtype per partition.
+    return Relation(np.concatenate([p.data for p in parts]), parts[0].name)
 
 
 def oracle_scan(workload: ScanWorkload) -> Tuple[int, int]:

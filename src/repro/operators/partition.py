@@ -169,6 +169,7 @@ def run_partitioning(
     key_space_bits: int,
     label_prefix: str = "",
     model_scale: float = 1.0,
+    segmented: bool = True,
 ) -> PartitionOutcome:
     """Execute the full partitioning phase functionally and cost it.
 
@@ -177,6 +178,10 @@ def run_partitioning(
     tests run fast), while the PhaseCost records describe a dataset
     ``model_scale`` times larger -- the partitioning phase is strictly
     per-tuple linear, so the extrapolation is exact.
+
+    ``segmented`` selects the whole-relation shuffle materialization
+    (:mod:`repro.columnar`); ``False`` keeps the per-destination
+    reference path.  Both are byte-identical.
     """
     if model_scale <= 0:
         raise ValueError("model_scale must be positive")
@@ -188,6 +193,7 @@ def run_partitioning(
         object_b=TUPLE_B,
         permutable=variant.permutable,
         interleave=get_interleave(variant.interleave),
+        segmented=segmented,
     )
     shuffle = engine.run(sources, dest_maps)
     n = sum(len(rel) for rel in sources)

@@ -168,11 +168,24 @@ class _PlanApplier:
         self._cursor: Dict[int, int] = {}  # bucket -> tuples already routed
 
     def apply(self, buckets: np.ndarray) -> np.ndarray:
-        dest = np.empty(len(buckets), dtype=np.int64)
-        for b in np.unique(buckets):
-            b = int(b)
-            mask = buckets == b
-            count = int(np.count_nonzero(mask))
+        n = len(buckets)
+        dest = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return dest
+        # One stable sort groups each bucket's tuples in occurrence
+        # order (the per-bucket ``buckets == b`` masks scanned the whole
+        # array once per distinct bucket -- quadratic with the CPU's
+        # 2**16 radix buckets).
+        order = np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        change[1:] = sorted_buckets[1:] != sorted_buckets[:-1]
+        starts = np.flatnonzero(change)
+        counts = np.diff(np.append(starts, n))
+        for first, count, b in zip(
+            starts.tolist(), counts.tolist(), sorted_buckets[starts].tolist()
+        ):
             shares = self._plan.assignment[b]
             start = self._cursor.get(b, 0)
             # Assign positions [start, start+count) of the bucket's global
@@ -192,7 +205,7 @@ class _PlanApplier:
                     f"bucket {b}: {count} tuples exceed the planned "
                     f"{offset} shares"
                 )
-            dest[mask] = vault_seq
+            dest[order[first : first + count]] = vault_seq
             self._cursor[b] = start + count
         return dest
 
@@ -231,6 +244,7 @@ def run_partitioning_skew_aware(
     capacity_factor: float = 1.5,
     seed: int = 0,
     model_scale: float = 1.0,
+    segmented: bool = True,
 ) -> Tuple[PartitionOutcome, RebalancePlan]:
     """Partition with overflow detection and the two-round retry.
 
@@ -283,6 +297,7 @@ def run_partitioning_skew_aware(
         object_b=TUPLE_B,
         permutable=variant.permutable,
         interleave=get_interleave(variant.interleave),
+        segmented=segmented,
     )
     shuffle = engine.run(sources, final_maps)
     phases.append(distribute_cost(int(n * model_scale), variant, label="distribute"))

@@ -400,9 +400,12 @@ class PartitionStage(PipelineStage):
                 ctx.key_space_bits,
                 model_scale=ctx.model_scale,
             )
-        out = Relation.empty(self.output)
-        for part in outcome.partitions:
-            out = out.concat(part, self.output)
+        # One concatenation of all partitions (the pairwise concat loop
+        # re-promoted the structured dtype and recopied the prefix per
+        # partition -- quadratic in partition count).
+        out = Relation(
+            np.concatenate([part.data for part in outcome.partitions]), self.output
+        )
         if not out.multiset_equal(rel):
             raise AssertionError(
                 f"stage {self.name!r}: repartitioning lost or invented tuples"

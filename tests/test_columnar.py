@@ -1,0 +1,408 @@
+"""Equivalence suite for the segmented columnar kernel layer.
+
+Every rebased operator must be **byte-identical** to its per-partition
+reference (``segmented=False``), which PR 2's suite already pins against
+the original scalar loops -- so equality here transitively pins the
+columnar kernels to the seed behaviour.  Coverage spans the four
+presets, uniform and skewed workloads, and the empty/singleton-segment
+edge cases the segments invariants allow.
+"""
+
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.analytics.tuples import TUPLE_DTYPE, Relation
+from repro.analytics.workload import (
+    make_groupby_workload,
+    make_join_workload,
+    make_scan_workload,
+    make_sort_workload,
+    split_relation,
+)
+from repro.columnar import (
+    SegmentedColumns,
+    segmented_mergesort,
+    segmented_searchsorted,
+    segmented_sorted_groups,
+    sorted_group_aggregates,
+)
+from repro.columnar.hashtable import SegmentedLinearProbingTable
+from repro.operators.groupby import _aggregate_sorted, run_groupby
+from repro.operators.hashtable import LinearProbingHashTable
+from repro.operators.join import run_join
+from repro.operators.scan import run_scan
+from repro.operators.sort_algos import mergesort
+from repro.operators.sort_op import run_sort
+from repro.shuffle.engine import ShuffleEngine
+from repro.shuffle.interleave import random_interleave
+from repro.systems import build_system
+from tests.test_vectorized_equivalence import assert_shuffles_identical, make_sources
+
+
+def random_columns(rng, num_segments, max_len, key_space=1 << 40):
+    """Random segmented columns with empty and singleton segments."""
+    lens = rng.integers(0, max_len + 1, num_segments)
+    if num_segments >= 3:
+        lens[0] = 0  # leading empty segment
+        lens[1] = 1  # singleton
+        lens[-1] = 0  # trailing empty segment
+    segments = np.zeros(num_segments + 1, dtype=np.int64)
+    np.cumsum(lens, out=segments[1:])
+    total = int(segments[-1])
+    keys = rng.integers(0, key_space, total, dtype=np.uint64)
+    payloads = rng.integers(0, 1 << 60, total, dtype=np.uint64)
+    return SegmentedColumns(keys=keys, payloads=payloads, segments=segments)
+
+
+def struct_of(columns, lo, hi):
+    out = np.empty(hi - lo, dtype=TUPLE_DTYPE)
+    out["key"] = columns.keys[lo:hi]
+    out["payload"] = columns.payloads[lo:hi]
+    return out
+
+
+class TestSegmentedColumns:
+    def test_split_relation_flattens_zero_copy(self):
+        rng = np.random.default_rng(0)
+        rel = Relation.from_arrays(
+            rng.integers(0, 1 << 40, 999, dtype=np.uint64),
+            rng.integers(0, 1 << 40, 999, dtype=np.uint64),
+        )
+        parts = split_relation(rel, 7)
+        columns = SegmentedColumns.from_relations(parts)
+        assert np.shares_memory(columns.keys, rel.data)
+        assert np.array_equal(columns.keys, rel.keys)
+        assert np.array_equal(columns.payloads, rel.payloads)
+        assert columns.segments.tolist() == [0] + list(
+            np.cumsum([len(p) for p in parts])
+        )
+
+    def test_independent_relations_concatenate(self):
+        rng = np.random.default_rng(1)
+        parts = [
+            Relation.from_arrays(
+                rng.integers(0, 99, n, dtype=np.uint64),
+                rng.integers(0, 99, n, dtype=np.uint64),
+            )
+            for n in (5, 0, 1, 17)
+        ]
+        columns = SegmentedColumns.from_relations(parts)
+        assert columns.num_segments == 4
+        assert columns.segment_lengths().tolist() == [5, 0, 1, 17]
+        assert np.array_equal(
+            columns.keys, np.concatenate([p.keys for p in parts])
+        )
+
+    def test_empty(self):
+        columns = SegmentedColumns.from_relations([])
+        assert columns.num_segments == 0
+        assert columns.total == 0
+
+    def test_round_trip(self):
+        columns = random_columns(np.random.default_rng(2), 9, 40)
+        rels = columns.to_relations("seg")
+        back = SegmentedColumns.from_relations(rels)
+        assert np.array_equal(back.keys, columns.keys)
+        assert np.array_equal(back.payloads, columns.payloads)
+        assert np.array_equal(back.segments, columns.segments)
+
+    def test_rejects_bad_segments(self):
+        keys = np.zeros(4, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            SegmentedColumns(keys, keys.copy(), np.array([0, 5], dtype=np.int64))
+        with pytest.raises(ValueError):
+            SegmentedColumns(keys, keys.copy(), np.array([0, 3, 2, 4], dtype=np.int64))
+
+
+class TestSegmentedSort:
+    @pytest.mark.parametrize("simd", [False, True])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_per_partition_mergesort(self, simd, seed):
+        rng = np.random.default_rng(seed)
+        # Narrow key space: plenty of duplicates to exercise stability.
+        columns = random_columns(rng, 12, 120, key_space=64)
+        keys, payloads = segmented_mergesort(
+            columns.keys, columns.payloads, columns.segments, bitonic_initial=simd
+        )
+        for i in range(columns.num_segments):
+            lo, hi = columns.segments[i], columns.segments[i + 1]
+            if hi == lo:
+                continue
+            ref, _ = mergesort(struct_of(columns, lo, hi), bitonic_initial=simd)
+            assert np.array_equal(keys[lo:hi], ref["key"]), (i, simd)
+            assert np.array_equal(payloads[lo:hi], ref["payload"]), (i, simd)
+
+    def test_pad_sentinel_keys_survive(self):
+        # Keys equal to the bitonic pad sentinel must sort like any max key.
+        top = np.uint64(0xFFFFFFFFFFFFFFFF)
+        keys = np.array([top, 3, top, 1, 2], dtype=np.uint64)
+        payloads = np.arange(5, dtype=np.uint64)
+        segments = np.array([0, 5], dtype=np.int64)
+        out_keys, out_payloads = segmented_mergesort(
+            keys, payloads, segments, bitonic_initial=True
+        )
+        data = np.empty(5, dtype=TUPLE_DTYPE)
+        data["key"], data["payload"] = keys, payloads
+        ref, _ = mergesort(data, bitonic_initial=True)
+        assert np.array_equal(out_keys, ref["key"])
+        assert np.array_equal(out_payloads, ref["payload"])
+
+
+class TestSortedGroupAggregates:
+    @pytest.mark.parametrize("group_scale", [4, 200])
+    def test_matches_per_group_numpy(self, group_scale):
+        # group_scale=200 forces groups past numpy's pairwise-summation
+        # blocking threshold, the regime where association matters.
+        rng = np.random.default_rng(group_scale)
+        columns = random_columns(rng, 8, 400, key_space=max(2, 400 // group_scale))
+        keys, payloads = segmented_mergesort(
+            columns.keys, columns.payloads, columns.segments
+        )
+        starts, lens, segs = segmented_sorted_groups(keys, columns.segments)
+        values = payloads.astype(np.float64)
+        counts, sums, mins, maxs, avgs, sumsqs = sorted_group_aggregates(
+            values, starts, lens
+        )
+        cursor = 0
+        for i in range(columns.num_segments):
+            lo, hi = columns.segments[i], columns.segments[i + 1]
+            if hi == lo:
+                continue
+            ref = _aggregate_sorted(keys[lo:hi], payloads[lo:hi])
+            for key, expected in ref.items():
+                assert int(keys[starts[cursor]]) == key
+                assert segs[cursor] == i
+                got = {
+                    "count": counts[cursor],
+                    "sum": sums[cursor],
+                    "min": mins[cursor],
+                    "max": maxs[cursor],
+                    "avg": avgs[cursor],
+                    "sumsq": sumsqs[cursor],
+                }
+                for name, value in expected.items():
+                    # Byte-identical floats, not approx-equal.
+                    assert got[name] == value, (name, key)
+                cursor += 1
+        assert cursor == len(starts)
+
+
+class TestSegmentedHashTable:
+    def test_matches_scalar_tables(self):
+        rng = np.random.default_rng(5)
+        seg_sizes = [0, 1, 37, 200, 3]
+        keys = [
+            rng.integers(0, 1 << 40, n, dtype=np.uint64) for n in seg_sizes
+        ]
+        payloads = [k * np.uint64(3) for k in keys]
+        active = [i for i, n in enumerate(seg_sizes) if n > 0]
+        table = SegmentedLinearProbingTable(
+            np.array([seg_sizes[i] for i in active])
+        )
+        flat_keys = np.concatenate([keys[i] for i in active])
+        flat_payloads = np.concatenate([payloads[i] for i in active])
+        seg_of = np.repeat(np.arange(len(active)), [seg_sizes[i] for i in active])
+        table.insert_batch(flat_keys, flat_payloads, seg_of)
+
+        probes = [
+            np.concatenate([keys[i][: n // 2], rng.integers(0, 1 << 40, 20, dtype=np.uint64)])
+            for i, n in ((i, seg_sizes[i]) for i in active)
+        ]
+        flat_probes = np.concatenate(probes)
+        probe_seg = np.repeat(np.arange(len(active)), [len(p) for p in probes])
+        got_payloads, got_found = table.lookup_batch(flat_probes, probe_seg)
+
+        offset = 0
+        for pos, i in enumerate(active):
+            scalar = LinearProbingHashTable(seg_sizes[i])
+            scalar.insert_batch(keys[i], payloads[i])
+            ref_payloads, ref_found = scalar.lookup_batch(probes[pos])
+            span = slice(offset, offset + len(probes[pos]))
+            assert np.array_equal(got_payloads[span], ref_payloads), i
+            assert np.array_equal(got_found[span], ref_found), i
+            assert table.insert_probe_steps[pos] == scalar.insert_probe_steps, i
+            assert table.lookup_probe_steps[pos] == scalar.lookup_probe_steps, i
+            assert table.capacities[pos] == scalar.capacity, i
+            offset += len(probes[pos])
+
+
+class TestSegmentedSearchsorted:
+    @pytest.mark.parametrize("key_space_bits", [40, 63])
+    def test_matches_per_segment(self, key_space_bits):
+        # 63-bit keys with >1 segment cannot use the composite code and
+        # must take the per-segment fallback.
+        rng = np.random.default_rng(7)
+        sorted_cols = random_columns(rng, 6, 80, key_space=1 << key_space_bits)
+        keys, _ = segmented_mergesort(
+            sorted_cols.keys, sorted_cols.payloads, sorted_cols.segments
+        )
+        query = random_columns(rng, 6, 50, key_space=1 << key_space_bits)
+        idx, valid = segmented_searchsorted(
+            keys, sorted_cols.segments, query.keys, query.segments, key_space_bits
+        )
+        for seg in range(6):
+            q_lo, q_hi = query.segments[seg], query.segments[seg + 1]
+            r_lo, r_hi = sorted_cols.segments[seg], sorted_cols.segments[seg + 1]
+            if r_hi == r_lo:
+                assert not valid[q_lo:q_hi].any()
+                continue
+            assert valid[q_lo:q_hi].all()
+            ref = np.minimum(
+                np.searchsorted(keys[r_lo:r_hi], query.keys[q_lo:q_hi]),
+                r_hi - r_lo - 1,
+            )
+            assert np.array_equal(idx[q_lo:q_hi] - r_lo, ref), seg
+
+
+class TestSegmentedShuffle:
+    @pytest.mark.parametrize("permutable", [False, True])
+    @pytest.mark.parametrize("skew", [False, True])
+    @pytest.mark.parametrize("n_per_src", [0, 8, 2000])
+    def test_matches_per_destination_path(self, permutable, skew, n_per_src):
+        rng = np.random.default_rng(n_per_src + 17 * skew)
+        sources, dest_maps = make_sources(
+            rng, num_src=5, num_dest=8, n_per_src=n_per_src, skew=skew
+        )
+        seg = ShuffleEngine(8, permutable=permutable).run(sources, dest_maps)
+        ref = ShuffleEngine(8, permutable=permutable, segmented=False).run(
+            sources, dest_maps
+        )
+        assert seg.columns is not None and ref.columns is None
+        assert_shuffles_identical(seg, ref)
+        # The SoA view mirrors the destinations without copying.
+        flat = np.concatenate([d.data for d in seg.destinations])
+        assert np.array_equal(seg.columns.keys, flat["key"])
+        if seg.total_tuples:
+            full = max(range(8), key=lambda d: len(seg.destinations[d]))
+            assert np.shares_memory(seg.columns.keys, seg.destinations[full].data)
+
+    @pytest.mark.parametrize("permutable", [False, True])
+    def test_random_interleave_model(self, permutable):
+        rng = np.random.default_rng(11)
+        sources, dest_maps = make_sources(rng, 4, 6, 300, skew=True)
+        interleave = partial(random_interleave, seed=23)
+        seg = ShuffleEngine(6, permutable=permutable, interleave=interleave).run(
+            sources, dest_maps
+        )
+        ref = ShuffleEngine(
+            6, permutable=permutable, interleave=interleave, segmented=False
+        ).run(sources, dest_maps)
+        assert_shuffles_identical(seg, ref)
+
+
+def _tiny_workloads(operator):
+    """Workloads whose shuffles leave many destinations empty (64
+    partitions, < 200 tuples) plus skewed group structure."""
+    if operator == "scan":
+        return [make_scan_workload(150, 64, seed=3), make_scan_workload(1, 1, seed=4)]
+    if operator == "sort":
+        return [make_sort_workload(150, 64, seed=3), make_sort_workload(2, 2, seed=4)]
+    if operator == "groupby":
+        return [
+            make_groupby_workload(150, 64, seed=3),
+            # avg group of 75: groups far beyond numpy's pairwise block,
+            # many partitions empty.
+            make_groupby_workload(150, 64, avg_group_size=75.0, seed=5),
+        ]
+    return [make_join_workload(40, 150, 64, seed=3)]
+
+
+def _assert_results_identical(operator, seg, ref):
+    assert [p.phase for p in seg.phase_perfs] == [p.phase for p in ref.phase_perfs]
+    assert [p.time_s for p in seg.phase_perfs] == [p.time_s for p in ref.phase_perfs]
+    assert seg.energy.total_j == ref.energy.total_j
+    if operator == "sort":
+        assert np.array_equal(seg.output.data, ref.output.data)
+        assert seg.output.name == ref.output.name
+    elif operator == "groupby":
+        # Same keys, same insertion order, byte-identical floats.
+        assert list(seg.output.groups) == list(ref.output.groups)
+        assert seg.output.groups == ref.output.groups
+    else:
+        assert seg.output == ref.output
+    assert seg.metadata == ref.metadata
+
+
+class TestOperatorEquivalence:
+    """segmented=True == segmented=False through the full machine stack."""
+
+    PRESETS = ("cpu", "nmp-rand", "nmp-seq", "mondrian")
+    OPERATORS = ("scan", "sort", "groupby", "join")
+
+    @pytest.mark.parametrize("preset", PRESETS)
+    @pytest.mark.parametrize("operator", OPERATORS)
+    def test_default_workloads(self, preset, operator):
+        from repro.experiments import common
+
+        machine = build_system(preset)
+        workload = common.make_workload(operator)
+        seg = machine.run_operator(operator, workload, 500.0, segmented=True)
+        ref = machine.run_operator(operator, workload, 500.0, segmented=False)
+        _assert_results_identical(operator, seg, ref)
+
+    @pytest.mark.parametrize("preset", ("cpu", "mondrian"))
+    @pytest.mark.parametrize("operator", OPERATORS)
+    def test_sparse_and_skewed_workloads(self, preset, operator):
+        machine = build_system(preset)
+        for workload in _tiny_workloads(operator):
+            seg = machine.run_operator(operator, workload, segmented=True)
+            ref = machine.run_operator(operator, workload, segmented=False)
+            _assert_results_identical(operator, seg, ref)
+
+    @pytest.mark.parametrize("operator", OPERATORS)
+    def test_runner_defaults_to_segmented(self, operator):
+        runner = {
+            "scan": run_scan,
+            "sort": run_sort,
+            "groupby": run_groupby,
+            "join": run_join,
+        }[operator]
+        workload = _tiny_workloads(operator)[0]
+        variant = build_system("mondrian").variant(workload.num_partitions)
+        default = runner(workload, variant)
+        explicit = runner(workload, variant, segmented=True)
+        assert default.phases == explicit.phases
+
+
+class TestImportOrders:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.columnar",
+            "repro.columnar.soa",
+            "repro.columnar.hashtable",
+            "repro.analytics.workload",
+            "repro.shuffle.engine",
+            "repro.operators",
+        ],
+    )
+    def test_fresh_interpreter_can_import_first(self, module):
+        """No import order closes a cycle (columnar <-> analytics <->
+        operators <-> shuffle); regression test for the lazy imports in
+        workload.py and columnar/hashtable.py."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        proc = subprocess.run(
+            [sys.executable, "-c", f"import {module}"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(root / "src")},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestWorkloadFlatViews:
+    def test_zero_copy_and_consistent(self):
+        workload = make_scan_workload(777, 13, seed=9)
+        flat = workload.flat
+        assert flat.num_segments == workload.num_partitions
+        assert flat.total == workload.total_tuples
+        assert np.shares_memory(flat.keys, workload.partitions[0].data)
+        join = make_join_workload(50, 120, 8, seed=9)
+        assert join.r_flat.total == join.n_r
+        assert join.s_flat.total == join.n_s

@@ -55,14 +55,22 @@ def test_doc_block_executes(source, block):
 
 def test_usage_flags_match_cli_parsers():
     """Every --flag named in the docs must exist on a real parser
-    (run_all's, the scenario-API CLI's, or the service CLI's -- the
-    service parser's subcommand flags included), and the flags the docs
+    (run_all's, the scenario-API CLI's, the service CLI's -- subcommand
+    flags included -- or the benchmark tools'), and the flags the docs
     promise must actually be documented."""
     import argparse
+    import sys
 
     from repro.api.__main__ import build_parser as api_parser
     from repro.experiments.run_all import build_parser as run_all_parser
     from repro.service.__main__ import build_parser as service_parser
+
+    sys.path.insert(0, str(ROOT))
+    try:
+        from benchmarks.compare import build_parser as compare_parser
+        from benchmarks.profile_experiment import build_parser as profile_parser
+    finally:
+        sys.path.pop(0)
 
     def walk(parser):
         for action in parser._actions:
@@ -73,7 +81,13 @@ def test_usage_flags_match_cli_parsers():
 
     parser_flags = {
         opt
-        for parser in (run_all_parser(), api_parser(), service_parser())
+        for parser in (
+            run_all_parser(),
+            api_parser(),
+            service_parser(),
+            compare_parser(),
+            profile_parser(),
+        )
         for opt in walk(parser)
     }
     for path in (ROOT / "docs" / "USAGE.md", ROOT / "README.md"):
