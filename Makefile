@@ -13,14 +13,33 @@ EXPERIMENT ?= fig6
 #: Max tolerated per-benchmark regression (percent) in bench-compare.
 MAX_REGRESSION ?= 10
 
-.PHONY: test docs-check report pipelines sweep-smoke service-smoke bench bench-compare profile
+#: Minimum line coverage (percent) `make coverage` demands of the
+#: fault-injection package.
+FAULTS_MIN_COVERAGE ?= 90
+
+.PHONY: test test-faults coverage docs-check report pipelines sweep-smoke service-smoke bench bench-compare profile
 
 ## Tier-1 verification: full unit/integration/experiment + benchmark
-## suite, then the sweep-smoke and service-smoke golden checks.
+## suite, then the fault-injection suite and the sweep-smoke and
+## service-smoke golden checks.
 test:
 	$(PY) -m pytest -x -q
+	$(MAKE) test-faults
 	$(MAKE) sweep-smoke
 	$(MAKE) service-smoke
+
+## Fault-injection suite: property harness (output byte-identity under
+## randomized schedules), cross-process determinism audit, barrier edge
+## cases and the fault_sweep golden.
+test-faults:
+	$(PY) -m pytest -x -q tests/test_faults_properties.py \
+	  tests/test_faults_determinism.py tests/test_faults_edgecases.py \
+	  tests/test_fault_sweep.py
+
+## Coverage gate: run the fault suite under a stdlib line tracer and
+## fail if any src/repro/faults/ file is below FAULTS_MIN_COVERAGE%.
+coverage:
+	$(PY) tools/faults_coverage.py --min $(FAULTS_MIN_COVERAGE)
 
 ## Scenario-API smoke test: run the committed 2x2 sweep grid (CPU +
 ## a 32-core star-topology Mondrian the paper never measured) and diff

@@ -82,26 +82,44 @@ def compare(new_path: Path, old_path: Path, new=None, old=None) -> str:
     new = load_means(new_path) if new is None else new
     old = load_means(old_path) if old is None else old
     shared = sorted(set(new) & set(old))
+    only_new = sorted(set(new) - set(old))
+    only_old = sorted(set(old) - set(new))
     lines = [f"Benchmark comparison: {new_path.name} vs {old_path.name}", ""]
-    header = f"{'benchmark':<44}  {'old':>10}  {'new':>10}  {'speedup':>8}"
-    lines += [header, "-" * len(header)]
-    for name in shared:
-        speedup = old[name] / new[name] if new[name] else float("inf")
-        lines.append(
-            f"{name:<44}  {fmt_seconds(old[name]):>10}  "
-            f"{fmt_seconds(new[name]):>10}  {speedup:>7.2f}x"
-        )
-    for name in sorted(set(new) - set(old)):
-        lines.append(f"{name:<44}  {'-':>10}  {fmt_seconds(new[name]):>10}  {'new':>8}")
-    for name in sorted(set(old) - set(new)):
-        lines.append(f"{name:<44}  {fmt_seconds(old[name]):>10}  {'-':>10}  {'gone':>8}")
     if shared:
-        geomean = 1.0
+        header = f"{'benchmark':<44}  {'old':>10}  {'new':>10}  {'speedup':>8}"
+        lines += [header, "-" * len(header)]
         for name in shared:
-            geomean *= old[name] / new[name]
-        geomean **= 1.0 / len(shared)
-        lines += ["", f"geomean speedup over {len(shared)} shared benchmarks: "
-                      f"{geomean:.2f}x"]
+            speedup = old[name] / new[name] if new[name] else float("inf")
+            lines.append(
+                f"{name:<44}  {fmt_seconds(old[name]):>10}  "
+                f"{fmt_seconds(new[name]):>10}  {speedup:>7.2f}x"
+            )
+    else:
+        lines.append(
+            "no shared benchmarks between the two files -- the suites "
+            "diverged completely; see the sections below"
+        )
+    if only_new:
+        lines += ["", f"new benchmarks ({len(only_new)}, only in "
+                      f"{new_path.name} -- no old baseline):"]
+        lines += [f"  {name}  {fmt_seconds(new[name])}" for name in only_new]
+    if only_old:
+        lines += ["", f"removed benchmarks ({len(only_old)}, only in "
+                      f"{old_path.name} -- not run anymore):"]
+        lines += [f"  {name}  {fmt_seconds(old[name])}" for name in only_old]
+    if shared:
+        # A zero NEW mean would divide by zero; such benches are shown
+        # in the table (as inf speedup) but excluded from the geomean.
+        measurable = [n for n in shared if new[n] > 0 and old[n] > 0]
+        if measurable:
+            geomean = 1.0
+            for name in measurable:
+                geomean *= old[name] / new[name]
+            geomean **= 1.0 / len(measurable)
+            note = (f" ({len(shared) - len(measurable)} zero-mean "
+                    "excluded)" if len(measurable) != len(shared) else "")
+            lines += ["", f"geomean speedup over {len(measurable)} shared "
+                          f"benchmarks{note}: {geomean:.2f}x"]
     return "\n".join(lines)
 
 

@@ -27,12 +27,16 @@ Systems are preset names or SystemSpec override dicts.  Without
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from repro.api.results import format_table
+from repro.api.spec import as_spec
 from repro.api.sweep import Sweep
 from repro.experiments import common
+from repro.faults.plan import FaultSpec
 
 #: Columns of the human-readable summary table (full records keep more).
 SUMMARY_COLUMNS = (
@@ -78,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--partitions", type=int, action="append", default=None, metavar="N",
         help=f"inline grid: add a partition count (default "
              f"{common.NUM_PARTITIONS}; repeatable)",
+    )
+    parser.add_argument(
+        "--faults", metavar="JSON",
+        help="inject a deterministic shuffle fault schedule into every "
+             "system of the grid: a JSON dict of FaultSpec overrides, "
+             "e.g. '{\"seed\": 7, \"drop_prob\": 0.2}' (functional "
+             "outputs stay byte-identical; records gain resilience "
+             "columns)",
     )
     parser.add_argument(
         "--jobs", type=int, default=1, metavar="N",
@@ -171,6 +183,26 @@ def _build_sweep(args) -> Sweep:
     return Sweep(**grid)
 
 
+def _with_faults(sweep: Sweep, faults_json: str) -> Sweep:
+    """Apply ``--faults`` overrides to every system of the grid."""
+    try:
+        overrides = json.loads(faults_json)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--faults is not valid JSON: {exc}")
+    if not isinstance(overrides, dict):
+        raise SystemExit("--faults must be a JSON object of FaultSpec fields")
+    try:
+        # Validate field names and values up front (fail at the CLI, not
+        # mid-sweep): FaultSpec's own __post_init__ checks the values.
+        FaultSpec().with_overrides(**overrides)
+        systems = tuple(
+            as_spec(s).with_faults(**overrides) for s in sweep.systems
+        )
+        return replace(sweep, systems=systems)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"--faults: {exc}")
+
+
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
     if args.jobs < 1:
@@ -181,6 +213,8 @@ def main(argv=None) -> None:
         common.configure_store(args.store)
 
     sweep = _build_sweep(args)
+    if args.faults:
+        sweep = _with_faults(sweep, args.faults)
     results = sweep.run(jobs=args.jobs)
     store_stats = common.store_stats()
     if store_stats is not None:

@@ -185,7 +185,14 @@ def records_from_result(
     Table 4 components (via :meth:`Machine.phase_energy`, the same
     accounting ``evaluate_run`` sums), so ResultSet pivots can rebuild
     any figure's series without re-running anything.
+
+    Runs evaluated under an active fault schedule (``repro.faults``)
+    additionally carry the resilience columns -- operator-level protocol
+    counters plus the per-phase priced overhead bytes.  Fault-free runs
+    omit them entirely, keeping their records (and the committed
+    goldens) byte-identical.
     """
+    resilience = result.metadata.get("resilience")
     records = []
     for perf in result.phase_perfs:
         energy = machine.phase_energy(perf)
@@ -206,6 +213,22 @@ def records_from_result(
                 "bytes": float(perf.phase.total_bytes),
             }
         )
+        if resilience is not None:
+            record.update(
+                {
+                    "retries": int(resilience["retries"]),
+                    "duplicates_discarded": int(
+                        resilience["duplicates_discarded"]
+                    ),
+                    "timeout_rounds": int(resilience["timeout_rounds"]),
+                    "degraded_destinations": int(
+                        resilience["degraded_destinations"]
+                    ),
+                    "straggler_share": float(resilience["straggler_share"]),
+                    "retry_shuffle_b": float(perf.phase.retry_shuffle_b),
+                    "backoff_stall_b": float(perf.phase.backoff_stall_b),
+                }
+            )
         records.append(record)
     return records
 

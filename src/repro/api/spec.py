@@ -57,7 +57,7 @@ _SCALAR_OVERRIDES = (
 )
 
 #: Nested config dataclasses overridable field-by-field.
-_NESTED_OVERRIDES = ("geometry", "timing", "interconnect")
+_NESTED_OVERRIDES = ("geometry", "timing", "interconnect", "faults")
 
 _Items = Tuple[Tuple[str, Any], ...]
 
@@ -98,6 +98,7 @@ class SystemSpec:
     geometry: _Items = field(default=())
     timing: _Items = field(default=())
     interconnect: _Items = field(default=())
+    faults: _Items = field(default=())
 
     def __post_init__(self) -> None:
         get_preset(self.base)  # KeyError with the valid names on a miss
@@ -159,6 +160,12 @@ class SystemSpec:
     def with_interconnect(self, **overrides) -> "SystemSpec":
         return replace(self, interconnect=dict(self.interconnect, **overrides))
 
+    def with_faults(self, **overrides) -> "SystemSpec":
+        """Override the deterministic shuffle fault schedule
+        (:class:`~repro.faults.plan.FaultSpec` fields, e.g.
+        ``drop_prob=0.2, seed=7``)."""
+        return replace(self, faults=dict(self.faults, **overrides))
+
     # -- derivation ---------------------------------------------------------
 
     @property
@@ -215,6 +222,7 @@ class SystemSpec:
             self.geometry,
             self.timing,
             self.interconnect,
+            self.faults,
         )
 
     def _derive_core(self, preset_core: CoreConfig) -> CoreConfig:
@@ -269,6 +277,7 @@ class SystemSpec:
         updates["interconnect"] = self._derive_nested(
             preset.interconnect, self.interconnect, "interconnect"
         )
+        updates["faults"] = self._derive_nested(preset.faults, self.faults, "faults")
         updates["name"] = self.label
         return preset.with_overrides(**updates)
 

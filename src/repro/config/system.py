@@ -30,6 +30,7 @@ from repro.config.cores import (
 from repro.config.dram import DramTiming, HmcGeometry
 from repro.config.energy import EnergyConfig
 from repro.config.interconnect import InterconnectConfig
+from repro.faults.plan import FaultSpec
 
 #: Partitioning-phase write handling.
 PARTITION_ADDRESSED = "addressed"
@@ -82,8 +83,13 @@ class SystemConfig:
     energy: EnergyConfig = field(default_factory=EnergyConfig)
     interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
     interleave_model: str = INTERLEAVE_ROUND_ROBIN
+    #: Deterministic shuffle fault schedule (``repro.faults``); the
+    #: default injects nothing and leaves results byte-identical.
+    faults: FaultSpec = field(default_factory=FaultSpec)
 
     def __post_init__(self) -> None:
+        if not isinstance(self.faults, FaultSpec):
+            raise ValueError("faults must be a FaultSpec")
         if self.kind not in ("cpu", "nmp", "mondrian"):
             raise ValueError(f"unknown system kind: {self.kind!r}")
         if self.partition_scheme not in (PARTITION_ADDRESSED, PARTITION_PERMUTABLE):

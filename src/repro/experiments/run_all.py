@@ -32,6 +32,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.experiments import (
     ablations,
+    fault_sweep,
     fig6_probe,
     fig7_overall,
     fig8_energy,
@@ -65,6 +66,12 @@ SECTIONS = (
         "skew",
         "Two-round partitioning under skew (future work)",
         skew_partitioning,
+        _UNSCALED,
+    ),
+    (
+        "faults",
+        "Fault injection: shuffle resilience under adversarial schedules",
+        fault_sweep,
         _UNSCALED,
     ),
     ("table5", "Table 5: partition speedup vs CPU", table5_partition, _SCALED),

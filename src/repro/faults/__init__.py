@@ -1,0 +1,28 @@
+"""Deterministic fault injection for the shuffle layer.
+
+``plan`` turns a frozen :class:`FaultSpec` into a reproducible
+:class:`FaultPlan` (stragglers, drops, duplicates, timeouts) for one
+shuffle; ``protocol`` replays that schedule through the barrier with
+bounded retries and exponential backoff, collecting the
+:class:`ResilienceStats` the cost model prices.  Functional output is
+byte-identical under any schedule -- see docs/ARCHITECTURE.md.
+"""
+
+from repro.faults.plan import NULL_FAULTS, FaultPlan, FaultSpec, stream_salt
+from repro.faults.protocol import (
+    DeliverySession,
+    FaultTolerantShuffleBarrier,
+    ResilienceStats,
+    combine_stats,
+)
+
+__all__ = [
+    "NULL_FAULTS",
+    "FaultPlan",
+    "FaultSpec",
+    "stream_salt",
+    "DeliverySession",
+    "FaultTolerantShuffleBarrier",
+    "ResilienceStats",
+    "combine_stats",
+]

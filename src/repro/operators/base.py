@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.analytics.tuples import TUPLE_B
 from repro.config.system import INTERLEAVE_MODELS, INTERLEAVE_ROUND_ROBIN
+from repro.faults.plan import NULL_FAULTS, FaultSpec
 
 #: Phase categories (Table 2 columns).
 PHASE_HISTOGRAM = "histogram"
@@ -52,6 +53,13 @@ class PhaseCost:
     shuffle_b: float = 0.0
     object_b: int = TUPLE_B
     permutable_writes: bool = False
+    #: Bytes re-sent over the network (retries + discarded duplicates)
+    #: by the fault-injection retry protocol; wire + SerDes cost, no
+    #: destination DRAM commit (drops are lost, duplicates discarded).
+    retry_shuffle_b: float = 0.0
+    #: Retry/timeout backoff and straggler stall, expressed as byte-time
+    #: at shuffle egress bandwidth so the interconnect cap prices it.
+    backoff_stall_b: float = 0.0
     notes: str = ""
 
     def __post_init__(self) -> None:
@@ -65,6 +73,8 @@ class PhaseCost:
             "seq_read_b",
             "seq_write_b",
             "shuffle_b",
+            "retry_shuffle_b",
+            "backoff_stall_b",
         ):
             if getattr(self, attr) < 0:
                 raise ValueError(f"{attr} must be non-negative")
@@ -95,6 +105,8 @@ class PhaseCost:
             seq_read_b=self.seq_read_b * factor,
             seq_write_b=self.seq_write_b * factor,
             shuffle_b=self.shuffle_b * factor,
+            retry_shuffle_b=self.retry_shuffle_b * factor,
+            backoff_stall_b=self.backoff_stall_b * factor,
         )
 
 
@@ -150,8 +162,13 @@ class OperatorVariant:
     #: Arrival-order model of the shuffle network (see
     #: ``repro.shuffle.interleave.NAMED_INTERLEAVES``).
     interleave: str = INTERLEAVE_ROUND_ROBIN
+    #: Deterministic fault schedule replayed through the shuffle barrier
+    #: (:mod:`repro.faults`); the default injects nothing.
+    faults: FaultSpec = NULL_FAULTS
 
     def __post_init__(self) -> None:
+        if not isinstance(self.faults, FaultSpec):
+            raise TypeError("faults must be a FaultSpec")
         if self.probe_algorithm not in ("hash", "sort"):
             raise ValueError(f"unknown probe algorithm {self.probe_algorithm!r}")
         if self.local_sort not in ("quicksort", "mergesort"):

@@ -29,6 +29,7 @@ from repro.columnar import (
     segmented_stable_argsort,
     sorted_group_aggregates,
 )
+from repro.faults.protocol import combine_stats
 from repro.operators import costs
 from repro.operators.base import PHASE_PROBE, OperatorRun, OperatorVariant, PhaseCost
 from repro.operators.hashtable import LinearProbingHashTable
@@ -341,10 +342,15 @@ def run_groupby(
             model_n, model_groups, variant, variant.num_partitions
         )
 
+    metadata = {"tuples": n, "groups": num_groups}
+    resilience = combine_stats(partitioned.resilience)
+    if resilience is not None:
+        metadata["resilience"] = resilience.to_metadata()
+
     return OperatorRun(
         operator="groupby",
         variant=variant.label,
         phases=partitioned.phases + probe_phases,
         output=GroupByOutput(groups=groups),
-        metadata={"tuples": n, "groups": num_groups},
+        metadata=metadata,
     )

@@ -29,6 +29,7 @@ from repro.columnar import (
     segmented_searchsorted,
 )
 from repro.columnar.hashtable import SegmentedLinearProbingTable
+from repro.faults.protocol import combine_stats
 from repro.operators import costs
 from repro.operators.base import PHASE_PROBE, OperatorRun, OperatorVariant, PhaseCost
 from repro.operators.hashtable import LinearProbingHashTable
@@ -334,10 +335,15 @@ def run_join(
             model_n_r, model_n_s, variant, variant.num_partitions
         )
 
+    metadata = {"n_r": workload.n_r, "n_s": workload.n_s}
+    resilience = combine_stats(r_part.resilience, s_part.resilience)
+    if resilience is not None:
+        metadata["resilience"] = resilience.to_metadata()
+
     return OperatorRun(
         operator="join",
         variant=variant.label,
         phases=r_part.phases + s_part.phases + probe_phases,
         output=JoinOutput(matches=matches, checksum=checksum),
-        metadata={"n_r": workload.n_r, "n_s": workload.n_s},
+        metadata=metadata,
     )

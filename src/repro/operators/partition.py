@@ -18,13 +18,15 @@ Join and Group by bucket by **low-order** key bits; Sort buckets by
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, replace
+from typing import List, Optional
 
 import numpy as np
 
 from repro.analytics.hashing import bucket_of_high_bits, bucket_of_low_bits
 from repro.analytics.tuples import TUPLE_B, Relation
+from repro.faults.plan import stream_salt
+from repro.faults.protocol import ResilienceStats
 from repro.operators import costs
 from repro.operators.base import (
     PHASE_DISTRIBUTE,
@@ -47,6 +49,40 @@ class PartitionOutcome:
     partitions: List[Relation]
     phases: List[PhaseCost]
     shuffle: ShuffleResult
+    #: Retry/backoff accounting when a fault schedule was active
+    #: (``None`` on fault-free runs, keeping their records unchanged).
+    resilience: Optional[ResilienceStats] = None
+
+
+def priced_distribute_cost(
+    n_model: int,
+    variant: OperatorVariant,
+    label: str,
+    resilience: Optional[ResilienceStats],
+    model_scale: float,
+) -> PhaseCost:
+    """The distribute phase's cost, with fault overhead priced in.
+
+    The functional shuffle moves the small test-sized relations; the
+    cost model describes a dataset ``model_scale`` times larger.  The
+    protocol's byte quantities are strictly per-delivery linear, so they
+    extrapolate with the same factor: re-sent + duplicated bytes become
+    ``retry_shuffle_b`` (wire + SerDes, no DRAM commit) and the
+    backoff + straggler critical-path stall becomes ``backoff_stall_b``
+    (idle wire time the interconnect cap prices).
+    """
+    cost = distribute_cost(n_model, variant, label=label)
+    if resilience is None:
+        return cost
+    return replace(
+        cost,
+        retry_shuffle_b=(resilience.retried_b + resilience.duplicate_b)
+        * model_scale,
+        backoff_stall_b=(
+            resilience.backoff_stall_b + resilience.straggler_stall_b
+        )
+        * model_scale,
+    )
 
 
 def destination_map(
@@ -194,14 +230,27 @@ def run_partitioning(
         permutable=variant.permutable,
         interleave=get_interleave(variant.interleave),
         segmented=segmented,
+        faults=variant.faults,
+        # Salted by the pass label so e.g. a join's R- and S-shuffles
+        # draw independent-but-reproducible schedules from one seed.
+        fault_salt=stream_salt(label_prefix),
     )
     shuffle = engine.run(sources, dest_maps)
     n = sum(len(rel) for rel in sources)
     n_model = int(round(n * model_scale))
     phases = [
         histogram_cost(n_model, variant, label=f"{label_prefix}histogram"),
-        distribute_cost(n_model, variant, label=f"{label_prefix}distribute"),
+        priced_distribute_cost(
+            n_model,
+            variant,
+            f"{label_prefix}distribute",
+            shuffle.resilience,
+            model_scale,
+        ),
     ]
     return PartitionOutcome(
-        partitions=shuffle.destinations, phases=phases, shuffle=shuffle
+        partitions=shuffle.destinations,
+        phases=phases,
+        shuffle=shuffle,
+        resilience=shuffle.resilience,
     )

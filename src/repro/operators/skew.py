@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.analytics.histogram import build_histogram
 from repro.analytics.tuples import TUPLE_B, Relation
+from repro.faults.plan import stream_salt
 from repro.operators import costs
 from repro.operators.base import (
     PHASE_HISTOGRAM,
@@ -42,8 +43,8 @@ from repro.operators.base import (
 from repro.operators.partition import (
     PartitionOutcome,
     destination_map,
-    distribute_cost,
     histogram_cost,
+    priced_distribute_cost,
 )
 from repro.shuffle.engine import ShuffleEngine
 from repro.shuffle.interleave import get_interleave
@@ -298,10 +299,23 @@ def run_partitioning_skew_aware(
         permutable=variant.permutable,
         interleave=get_interleave(variant.interleave),
         segmented=segmented,
+        faults=variant.faults,
+        fault_salt=stream_salt("skew"),
     )
     shuffle = engine.run(sources, final_maps)
-    phases.append(distribute_cost(int(n * model_scale), variant, label="distribute"))
+    phases.append(
+        priced_distribute_cost(
+            int(n * model_scale),
+            variant,
+            "distribute",
+            shuffle.resilience,
+            model_scale,
+        )
+    )
     outcome = PartitionOutcome(
-        partitions=shuffle.destinations, phases=phases, shuffle=shuffle
+        partitions=shuffle.destinations,
+        phases=phases,
+        shuffle=shuffle,
+        resilience=shuffle.resilience,
     )
     return outcome, plan

@@ -18,6 +18,7 @@ import numpy as np
 from repro.analytics.tuples import TUPLE_B, Relation
 from repro.analytics.workload import SortWorkload
 from repro.columnar import SegmentedColumns, segmented_mergesort, segmented_stable_argsort
+from repro.faults.protocol import combine_stats
 from repro.operators import costs
 from repro.operators.base import PHASE_PROBE, OperatorRun, OperatorVariant, PhaseCost
 from repro.operators.partition import SCHEME_HIGH_BITS, run_partitioning
@@ -157,10 +158,15 @@ def run_sort(
     else:
         probe = mergesort_probe_cost(model_n, variant.num_partitions, variant)
 
+    metadata = {"tuples": n}
+    resilience = combine_stats(partitioned.resilience)
+    if resilience is not None:
+        metadata["resilience"] = resilience.to_metadata()
+
     return OperatorRun(
         operator="sort",
         variant=variant.label,
         phases=partitioned.phases + [probe],
         output=output,
-        metadata={"tuples": n},
+        metadata=metadata,
     )

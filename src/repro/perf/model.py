@@ -123,9 +123,13 @@ class PhaseEvaluator:
         caps: Dict[str, float] = {}
         geo = self._config.geometry
         if phase.shuffle_b:
-            # SerDes egress across all stacks.
+            # SerDes egress across all stacks.  Fault-injection retries
+            # re-cross the wire and backoff/straggler stalls hold it idle
+            # (both expressed in bytes at this bandwidth), so the egress
+            # cap prices the whole disrupted critical path.
             network_bw = self._topology.shuffle_egress_bw_bps() * geo.num_stacks
-            caps["network"] = phase.shuffle_b / network_bw * 1e9
+            wire_b = phase.shuffle_b + phase.retry_shuffle_b + phase.backoff_stall_b
+            caps["network"] = wire_b / network_bw * 1e9
             # Destination vaults absorbing interleaved writes.
             per_vault_b = phase.shuffle_b / geo.total_vaults
             pattern = InterleavedWrites(
@@ -196,6 +200,20 @@ class PhaseEvaluator:
             else:
                 serdes_bytes += phase.shuffle_b * 2  # up to the hub, back down
             noc_bit_mm += phase.shuffle_b * 8 * mean_hops
+
+        # Fault-injection retries: re-sent and duplicated deliveries burn
+        # SerDes and NoC energy like shuffle traffic, but never commit to
+        # destination DRAM (drops are lost in flight, duplicates are
+        # discarded at the controller).  Backoff stall is idle time --
+        # no dynamic events; leakage scales with phase time as usual.
+        if phase.retry_shuffle_b:
+            if cfg.is_near_memory:
+                serdes_bytes += (
+                    phase.retry_shuffle_b * (geo.num_stacks - 1) / geo.num_stacks
+                )
+            else:
+                serdes_bytes += phase.retry_shuffle_b * 2
+            noc_bit_mm += phase.retry_shuffle_b * 8 * mean_hops
 
         # CPU-centric: *all* DRAM traffic crosses a SerDes link and the
         # mesh, and every cache-block demand touches the LLC.

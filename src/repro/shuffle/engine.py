@@ -28,6 +28,12 @@ import numpy as np
 from repro.analytics.histogram import build_histogram, source_write_offsets
 from repro.analytics.tuples import TUPLE_B, TUPLE_DTYPE, Relation
 from repro.columnar.soa import SegmentedColumns
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.protocol import (
+    DeliverySession,
+    FaultTolerantShuffleBarrier,
+    ResilienceStats,
+)
 from repro.memctrl.permutable import (
     PermutableRegionConfig,
     PermutableWriteEngine,
@@ -69,6 +75,9 @@ class ShuffleResult:
     #: so the probe phase can run whole-relation kernels without
     #: re-flattening.  ``None`` on the reference paths.
     columns: Optional[SegmentedColumns] = None
+    #: Retry/backoff accounting of the fault-injection protocol
+    #: (:mod:`repro.faults`); ``None`` when no faults were active.
+    resilience: Optional[ResilienceStats] = None
 
     @property
     def total_tuples(self) -> int:
@@ -86,6 +95,8 @@ class ShuffleEngine:
         interleave: Callable[[Sequence[int]], ArrivalOrder] = round_robin_interleave,
         vectorized: bool = True,
         segmented: bool = True,
+        faults: Optional[FaultSpec] = None,
+        fault_salt: int = 0,
     ) -> None:
         if num_destinations < 1:
             raise ValueError("need at least one destination")
@@ -102,10 +113,31 @@ class ShuffleEngine:
         # path (PR 2); the default materializes *all* destinations in
         # one whole-relation gather/scatter pass over SoA columns.
         self._segmented = segmented
+        # Optional deterministic fault schedule (repro.faults): replayed
+        # through the barrier's retry/backoff protocol.  The functional
+        # output stays byte-identical under any schedule.
+        self._faults = faults
+        self._fault_salt = fault_salt
 
     @property
     def permutable(self) -> bool:
         return self._permutable
+
+    def _fault_session(
+        self, sizes_b: np.ndarray, num_src: int
+    ) -> Optional[DeliverySession]:
+        """A delivery session for this run's fault schedule, if active."""
+        if self._faults is None or not self._faults.active:
+            return None
+        plan = FaultPlan.build(
+            self._faults, num_src, self._num_dest, salt=self._fault_salt
+        )
+        return DeliverySession(plan, sizes_b)
+
+    def _make_barrier(self, num_vaults: int, faulted: bool) -> ShuffleBarrier:
+        if faulted:
+            return FaultTolerantShuffleBarrier(num_vaults)
+        return ShuffleBarrier(num_vaults)
 
     def run(
         self,
@@ -136,7 +168,16 @@ class ShuffleEngine:
             histograms.append(build_histogram(dests, self._num_dest))
 
         # shuffle_begin: exchange totals, seal the barrier.
-        barrier = ShuffleBarrier(self._num_dest if self._num_dest >= num_src else num_src)
+        sizes_b = (
+            np.stack(histograms) * TUPLE_B
+            if histograms
+            else np.zeros((0, self._num_dest), dtype=np.int64)
+        )
+        session = self._fault_session(sizes_b, num_src)
+        barrier = self._make_barrier(
+            self._num_dest if self._num_dest >= num_src else num_src,
+            faulted=session is not None,
+        )
         for src, hist in enumerate(histograms):
             for dest in range(self._num_dest):
                 barrier.announce(src, dest, int(hist[dest]) * TUPLE_B)
@@ -167,11 +208,14 @@ class ShuffleEngine:
                 [int(per_src_offsets[s][dest]) for s in range(num_src)],
                 barrier,
                 overprovision,
+                session,
             )
             destinations.append(rel)
             traces.append(trace)
             inbound.append(hist)
 
+        if session is not None:
+            session.finalize(barrier)
         if not barrier.all_complete():
             raise RuntimeError("shuffle barrier incomplete after all deliveries")
         return ShuffleResult(
@@ -180,6 +224,7 @@ class ShuffleEngine:
             inbound_histograms=inbound,
             barrier=barrier,
             permutable=self._permutable,
+            resilience=session.stats if session is not None else None,
         )
 
     def _run_segmented(
@@ -223,7 +268,11 @@ class ShuffleEngine:
         ).reshape(num_src, num_dest)
 
         # shuffle_begin: exchange totals, seal the barrier.
-        barrier = ShuffleBarrier(num_dest if num_dest >= num_src else num_src)
+        session = self._fault_session(hist * TUPLE_B, num_src)
+        barrier = self._make_barrier(
+            num_dest if num_dest >= num_src else num_src,
+            faulted=session is not None,
+        )
         barrier.announce_all(hist * TUPLE_B)
         barrier.seal()
 
@@ -315,13 +364,20 @@ class ShuffleEngine:
                 trace_all[bounds[d] : bounds[d + 1]] for d in range(num_dest)
             ]
         for dest in range(num_dest):
-            barrier.deliver_batch(dest, int(dest_totals[dest]) * TUPLE_B)
+            if session is not None:
+                # Disrupted destinations degrade to the slow per-stream
+                # delivery path; healthy ones keep the batched retire.
+                session.deliver_dest(barrier, dest)
+            else:
+                barrier.deliver_batch(dest, int(dest_totals[dest]) * TUPLE_B)
 
         destinations = [
             Relation(out[bounds[d] : bounds[d + 1]], f"shuffle_dest/{d}")
             for d in range(num_dest)
         ]
         inbound = [np.ascontiguousarray(hist[:, d]) for d in range(num_dest)]
+        if session is not None:
+            session.finalize(barrier)
         if not barrier.all_complete():
             raise RuntimeError("shuffle barrier incomplete after all deliveries")
         return ShuffleResult(
@@ -333,6 +389,7 @@ class ShuffleEngine:
             columns=SegmentedColumns(
                 keys=out_keys, payloads=out_payloads, segments=bounds
             ),
+            resilience=session.stats if session is not None else None,
         )
 
     def _materialize_destination(
@@ -342,13 +399,14 @@ class ShuffleEngine:
         src_offsets: List[int],
         barrier: ShuffleBarrier,
         overprovision: float,
+        session: Optional[DeliverySession] = None,
     ) -> Tuple[Relation, np.ndarray, np.ndarray]:
         if self._vectorized:
             return self._materialize_vectorized(
-                dest, inbound_streams, src_offsets, barrier, overprovision
+                dest, inbound_streams, src_offsets, barrier, overprovision, session
             )
         return self._materialize_scalar(
-            dest, inbound_streams, src_offsets, barrier, overprovision
+            dest, inbound_streams, src_offsets, barrier, overprovision, session
         )
 
     def _materialize_vectorized(
@@ -358,6 +416,7 @@ class ShuffleEngine:
         src_offsets: List[int],
         barrier: ShuffleBarrier,
         overprovision: float,
+        session: Optional[DeliverySession] = None,
     ) -> Tuple[Relation, np.ndarray, np.ndarray]:
         """Array-native materialization: the whole arrival loop becomes a
         handful of fancy-indexing operations.
@@ -396,7 +455,10 @@ class ShuffleEngine:
             trace = slots * self._object_b
             buffer = np.empty(total, dtype=TUPLE_DTYPE)
             buffer[slots] = concat[flat]
-        barrier.deliver_batch(dest, total * TUPLE_B)
+        if session is not None:
+            session.deliver_dest(barrier, dest)
+        else:
+            barrier.deliver_batch(dest, total * TUPLE_B)
         return Relation(buffer, f"shuffle_dest/{dest}"), trace, hist
 
     def _materialize_scalar(
@@ -406,9 +468,15 @@ class ShuffleEngine:
         src_offsets: List[int],
         barrier: ShuffleBarrier,
         overprovision: float,
+        session: Optional[DeliverySession] = None,
     ) -> Tuple[Relation, np.ndarray, np.ndarray]:
         """Per-tuple reference loop (the seed implementation), kept so the
         equivalence suite can pin the vectorized path against it."""
+        if session is not None:
+            # The scalar loop already *is* the per-delivery slow path;
+            # the session only records the identical retry/duplicate
+            # events so stats and barrier state match the batched paths.
+            session.record_dest_events(barrier, dest)
         lengths = [len(s) for s in inbound_streams]
         total = sum(lengths)
         arrival = list(zip(*self._interleave(lengths)))

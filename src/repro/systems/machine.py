@@ -68,6 +68,7 @@ class Machine:
             num_partitions=num_partitions,
             local_sort="quicksort" if cfg.kind == "cpu" else "mergesort",
             interleave=cfg.interleave_model,
+            faults=cfg.faults,
         )
 
     def run_operator(

@@ -1,0 +1,79 @@
+"""benchmarks/compare.py: non-overlapping trajectory points must not
+crash or silently intersect.
+
+A PR that adds or removes benchmarks produces BENCH_*.json files whose
+name sets differ; the diff must name those benches in explicit
+new/removed sections, keep the geomean well-defined (zero means and
+empty intersections included), and still gate regressions on the shared
+set only.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from benchmarks.compare import compare, find_regressions, load_means
+
+
+def write_bench(tmp_path: Path, name: str, means: dict) -> Path:
+    payload = {
+        "benchmarks": [
+            {"name": bench, "stats": {"mean": mean}}
+            for bench, mean in means.items()
+        ]
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestCompare:
+    def test_named_sections_for_unmatched_benches(self, tmp_path):
+        new = write_bench(tmp_path, "BENCH_2.json",
+                          {"shared": 1.0, "added": 0.5})
+        old = write_bench(tmp_path, "BENCH_1.json",
+                          {"shared": 2.0, "dropped": 0.25})
+        text = compare(new, old)
+        assert "new benchmarks (1, only in BENCH_2.json" in text
+        assert "  added" in text
+        assert "removed benchmarks (1, only in BENCH_1.json" in text
+        assert "  dropped" in text
+        assert "geomean speedup over 1 shared benchmarks: 2.00x" in text
+
+    def test_disjoint_files_do_not_crash(self, tmp_path):
+        new = write_bench(tmp_path, "BENCH_2.json", {"a": 1.0})
+        old = write_bench(tmp_path, "BENCH_1.json", {"b": 1.0})
+        text = compare(new, old)
+        assert "no shared benchmarks" in text
+        assert "geomean" not in text
+
+    def test_zero_mean_excluded_from_geomean(self, tmp_path):
+        new = write_bench(tmp_path, "BENCH_2.json", {"ok": 1.0, "zero": 0.0})
+        old = write_bench(tmp_path, "BENCH_1.json", {"ok": 4.0, "zero": 1.0})
+        text = compare(new, old)  # must not raise ZeroDivisionError
+        assert "inf" in text.lower()
+        assert "(1 zero-mean excluded)" in text
+        assert "geomean speedup over 1 shared benchmarks" in text
+
+    def test_all_shared_all_zero_old(self, tmp_path):
+        new = write_bench(tmp_path, "BENCH_2.json", {"a": 1.0})
+        old = write_bench(tmp_path, "BENCH_1.json", {"a": 0.0})
+        text = compare(new, old)
+        assert "geomean" not in text
+
+    def test_load_means(self, tmp_path):
+        path = write_bench(tmp_path, "b.json", {"x": 0.125})
+        assert load_means(path) == {"x": 0.125}
+
+
+class TestRegressionGate:
+    def test_gate_only_sees_shared(self):
+        new = {"shared": 3.0, "added": 100.0}
+        old = {"shared": 1.0, "dropped": 0.001}
+        found = find_regressions(new, old, max_regression_pct=10.0)
+        assert [name for name, *_ in found] == ["shared"]
+        assert found[0][3] == pytest.approx(200.0)
+
+    def test_zero_old_mean_skipped(self):
+        assert find_regressions({"a": 1.0}, {"a": 0.0}, 10.0) == []
