@@ -17,16 +17,24 @@ MAX_REGRESSION ?= 10
 #: fault-injection package.
 FAULTS_MIN_COVERAGE ?= 90
 
-.PHONY: test test-faults coverage docs-check report pipelines sweep-smoke service-smoke bench bench-compare profile
+#: Minimum line coverage (percent) `make coverage-service` demands of
+#: the evaluation-service package (resilience layer included).
+SERVICE_MIN_COVERAGE ?= 90
+
+#: Deterministic wire-fault schedule seeds replayed by `make chaos-test`.
+CHAOS_SEEDS ?= --seed 7 --seed 17
+
+.PHONY: test test-faults coverage coverage-service chaos-test docs-check report pipelines sweep-smoke service-smoke bench bench-compare profile
 
 ## Tier-1 verification: full unit/integration/experiment + benchmark
-## suite, then the fault-injection suite and the sweep-smoke and
-## service-smoke golden checks.
+## suite, then the fault-injection suite, the sweep-smoke and
+## service-smoke golden checks, and the chaos harness.
 test:
 	$(PY) -m pytest -x -q
 	$(MAKE) test-faults
 	$(MAKE) sweep-smoke
 	$(MAKE) service-smoke
+	$(MAKE) chaos-test
 
 ## Fault-injection suite: property harness (output byte-identity under
 ## randomized schedules), cross-process determinism audit, barrier edge
@@ -40,6 +48,19 @@ test-faults:
 ## fail if any src/repro/faults/ file is below FAULTS_MIN_COVERAGE%.
 coverage:
 	$(PY) tools/faults_coverage.py --min $(FAULTS_MIN_COVERAGE)
+
+## Service coverage gate: run the service + resilience suites under the
+## same stdlib tracer; fail if any src/repro/service/ file is below
+## SERVICE_MIN_COVERAGE%.
+coverage-service:
+	$(PY) tools/coverage_gate.py service --min $(SERVICE_MIN_COVERAGE)
+
+## Chaos harness: replay the sweep-smoke grid through a real daemon
+## under worker SIGKILLs, torn store writes, seeded wire faults and
+## daemon loss, asserting every export stays byte-identical to the
+## golden file and no corrupt entry is ever served.
+chaos-test:
+	$(PY) tools/chaos.py $(CHAOS_SEEDS)
 
 ## Scenario-API smoke test: run the committed 2x2 sweep grid (CPU +
 ## a 32-core star-topology Mondrian the paper never measured) and diff

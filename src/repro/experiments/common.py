@@ -186,12 +186,30 @@ def clear_caches() -> None:
     clear_machine_cache()
 
 
+#: Times this process fell back from the evaluation daemon to local
+#: in-process evaluation (the client's ``degrade="local"`` path).
+_DEGRADED = 0
+
+
+def note_degraded() -> int:
+    """Count one degradation to local evaluation; returns the total."""
+    global _DEGRADED
+    _DEGRADED += 1
+    return _DEGRADED
+
+
+def degraded_count() -> int:
+    """How many service calls this process served locally after failure."""
+    return _DEGRADED
+
+
 def cache_stats() -> Dict[str, Any]:
     """Per-tier hit/miss/eviction counters, plus legacy aggregates.
 
     The top-level ``hits``/``misses`` keys sum the in-memory tiers
     (the pre-service shape); ``tiers`` breaks them down per tier and
-    adds the persistent store when one is active.
+    adds the persistent store when one is active.  ``degraded`` counts
+    service calls this process answered locally after daemon failure.
     """
     tiers: Dict[str, Any] = {
         _WORKLOADS.name: _WORKLOADS.stats(),
@@ -203,6 +221,7 @@ def cache_stats() -> Dict[str, Any]:
     return {
         "hits": _WORKLOADS.stats()["hits"] + _RESULTS.stats()["hits"],
         "misses": _WORKLOADS.stats()["misses"] + _RESULTS.stats()["misses"],
+        "degraded": _DEGRADED,
         "tiers": tiers,
     }
 

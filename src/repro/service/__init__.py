@@ -20,17 +20,35 @@ concurrent clients split one simulation bill:
   ``stats`` / ``shutdown``) and its blocking client, returning the same
   tidy :class:`~repro.api.results.ResultSet` records as in-process
   ``Sweep.run``.
+- :mod:`repro.service.resilience` -- the crash-safety layer: write-ahead
+  store journaling with startup recovery, a supervised worker fleet
+  with heartbeats / backoff restarts / circuit breaking, client retry
+  with degradation to local evaluation, and the seeded fault hooks the
+  chaos harness (``make chaos-test``) drives.
 
-Command line: ``python -m repro.service serve|submit|stats|ping``
+Command line: ``python -m repro.service serve|submit|stats|ping|recover``
 (see ``docs/USAGE.md``).
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    IDEMPOTENT_VERBS,
+    ServiceClient,
+    ServiceDegradedWarning,
+    ServiceError,
+)
 from repro.service.daemon import (
     DEFAULT_PORT,
+    DeadlineExceeded,
     EvaluationDaemon,
     serve,
     serve_background,
+)
+from repro.service.resilience import (
+    CircuitBreaker,
+    IntentJournal,
+    RetryPolicy,
+    WorkerFleet,
+    WorkerTaskError,
 )
 from repro.service.scheduler import BatchScheduler
 from repro.service.store import CODE_VERSION, ResultStore, digest_payload
@@ -38,11 +56,19 @@ from repro.service.store import CODE_VERSION, ResultStore, digest_payload
 __all__ = [
     "BatchScheduler",
     "CODE_VERSION",
+    "CircuitBreaker",
     "DEFAULT_PORT",
+    "DeadlineExceeded",
     "EvaluationDaemon",
+    "IDEMPOTENT_VERBS",
+    "IntentJournal",
     "ResultStore",
+    "RetryPolicy",
     "ServiceClient",
+    "ServiceDegradedWarning",
     "ServiceError",
+    "WorkerFleet",
+    "WorkerTaskError",
     "digest_payload",
     "serve",
     "serve_background",

@@ -3,16 +3,26 @@
 Subcommands::
 
     python -m repro.service serve  --store DIR [--host H] [--port P] [--jobs N]
-    python -m repro.service submit --sweep SPEC.json [--host H] [--port P] [--json OUT]
+                                   [--workers N]
+    python -m repro.service submit --sweep SPEC.json [--host H] [--port P]
+                                   [--json OUT] [--degrade local|fail]
     python -m repro.service stats  [--host H] [--port P]
     python -m repro.service ping   [--host H] [--port P]
+    python -m repro.service recover --store DIR
 
 ``serve`` runs the daemon in the foreground and prints
 ``repro.service: serving on HOST:PORT`` once bound (``--port 0`` picks
 an ephemeral port -- scripts parse that line to find it).  ``submit``
 sends a sweep grid to a running daemon and exports the returned
 ``ResultSet`` exactly like ``python -m repro.api`` does; ``stats`` and
-``ping`` are one-line JSON reports.
+``ping`` are one-line JSON reports.  ``recover`` runs the store's
+journal recovery + full verification scan offline and prints the
+accounting (rolled forward / discarded / quarantined).
+
+Client subcommands share ``--retries N`` (transport retry budget for
+idempotent verbs) and ``--deadline S`` (per-request budget, enforced by
+the daemon too); ``submit --degrade local`` falls back to in-process
+evaluation when the daemon stays unreachable.
 """
 
 from __future__ import annotations
@@ -33,6 +43,28 @@ def _add_endpoint_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--port", type=int, default=DEFAULT_PORT, metavar="P",
         help=f"daemon TCP port (default {DEFAULT_PORT})",
+    )
+
+
+def _add_resilience_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="transport retry budget for idempotent requests (default 2)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-request deadline in seconds, enforced client- and "
+             "daemon-side (default: none)",
+    )
+
+
+def _client(args) -> ServiceClient:
+    return ServiceClient(
+        args.host,
+        args.port,
+        retries=args.retries,
+        deadline=args.deadline,
+        degrade=getattr(args, "degrade", "fail"),
     )
 
 
@@ -60,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width for store misses (default 1)",
     )
     serve_p.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="serve store misses through a supervised fleet of N "
+             "persistent worker subprocesses (heartbeats, backoff "
+             "restarts, crash requeue; default 0 = use --jobs pool)",
+    )
+    serve_p.add_argument(
         "--max-bytes", type=int, default=None, metavar="B",
         help="LRU-evict store entries beyond this total payload size",
     )
@@ -68,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit a sweep grid to a running daemon"
     )
     _add_endpoint_args(submit_p)
+    _add_resilience_args(submit_p)
     submit_p.add_argument(
         "--sweep", metavar="SPEC.json", required=True,
         help="sweep grid JSON file (same format as python -m repro.api)",
@@ -80,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", metavar="PATH",
         help="write the returned ResultSet as CSV ('-' for stdout)",
     )
+    submit_p.add_argument(
+        "--degrade", choices=("local", "fail"), default="fail",
+        help="when the daemon stays unreachable after retries: 'local' "
+             "evaluates in-process with a warning, 'fail' (default) "
+             "exits with the transport error",
+    )
 
     for name, help_text in (
         ("stats", "print a running daemon's request/scheduler/store stats"),
@@ -87,18 +132,32 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = commands.add_parser(name, help=help_text)
         _add_endpoint_args(sub)
+        _add_resilience_args(sub)
+
+    recover_p = commands.add_parser(
+        "recover",
+        help="recover + verify a result store offline (journal roll-forward, "
+             "corrupt-entry quarantine)",
+    )
+    recover_p.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="result-store directory to recover and verify",
+    )
     return parser
 
 
 def _cmd_serve(args) -> None:
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
+    if args.workers < 0:
+        raise SystemExit("--workers must be >= 0")
     serve(
         host=args.host,
         port=args.port,
         store=args.store,
         jobs=args.jobs,
         max_bytes=args.max_bytes,
+        workers=args.workers,
     )
 
 
@@ -106,20 +165,32 @@ def _cmd_submit(args) -> None:
     from repro.api.__main__ import export_result_set, print_summary_table
 
     grid = json.loads(Path(args.sweep).read_text())
-    with ServiceClient(args.host, args.port) as client:
+    # No eager connect: sweep() connects inside its retry loop, so
+    # --retries/--degrade cover the initial connection refusal too.
+    client = _client(args)
+    try:
         results = client.sweep(grid)
+    finally:
+        client.close()
     if not export_result_set(results, args.json, args.csv):
         print_summary_table(results)
 
 
 def _cmd_stats(args) -> None:
-    with ServiceClient(args.host, args.port) as client:
+    with _client(args) as client:
         print(json.dumps(client.stats(), indent=2, sort_keys=True))
 
 
 def _cmd_ping(args) -> None:
-    with ServiceClient(args.host, args.port) as client:
+    with _client(args) as client:
         print(json.dumps(client.ping(), indent=2, sort_keys=True))
+
+
+def _cmd_recover(args) -> None:
+    from repro.service.store import ResultStore
+
+    report = ResultStore(args.store).verify()
+    print(json.dumps(report, indent=2, sort_keys=True))
 
 
 def main(argv=None) -> None:
@@ -129,6 +200,7 @@ def main(argv=None) -> None:
         "submit": _cmd_submit,
         "stats": _cmd_stats,
         "ping": _cmd_ping,
+        "recover": _cmd_recover,
     }[args.command](args)
 
 

@@ -1,4 +1,4 @@
-"""Blocking client for the evaluation daemon.
+"""Resilient blocking client for the evaluation daemon.
 
 Speaks the daemon's newline-delimited JSON protocol over one persistent
 TCP connection.  Results come back as the same tidy records
@@ -11,15 +11,37 @@ in-process sweep are drop-in interchangeable:
                            "scales": [50.0], "num_partitions": [8]})
         rs.to_json("out.json")
 
+Failure semantics (see docs/ARCHITECTURE.md, "Resilience & failure
+semantics"):
+
+- **Idempotent verbs** (``ping``/``stats``/``evaluate``/``sweep``) get
+  a bounded retry loop with exponential backoff and jitter on transport
+  failure.  A *reused* connection that turns out to be stale earns one
+  free reconnect-and-resend before the retry budget is touched --
+  restarting the daemon between calls is invisible.  ``shutdown`` is
+  never retried or resent: delivered-but-unacknowledged would stop a
+  server twice.
+- A ``deadline`` (seconds per request) rides along on the wire as
+  ``deadline_s``; the daemon refuses to start work for a caller whose
+  budget lapsed while the request sat behind the batch lock.  Daemon
+  deadline rejections are terminal -- the budget is gone either way.
+- ``degrade="local"`` turns an exhausted retry budget on
+  ``evaluate``/``sweep`` into an in-process evaluation (with a
+  :class:`ServiceDegradedWarning` and a ``degraded`` counter) instead
+  of an exception -- results are identical, only the shared warm cache
+  is lost.  The default ``degrade="fail"`` raises.
+
 Errors the daemon reports (unknown verbs, invalid scenarios) raise
 :class:`ServiceError` with the server's message; transport failures
-raise the underlying ``OSError``.
+that outlive the retry budget raise the underlying ``OSError``.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
+import warnings
 from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.api.results import ResultSet
@@ -27,26 +49,68 @@ from repro.api.scenario import Scenario
 from repro.api.sweep import Sweep
 
 from repro.service.daemon import DEFAULT_PORT
+from repro.service.resilience.retry import RetryPolicy
+
+#: Verbs that are safe to resend: either read-only or content-addressed
+#: (a duplicate ``evaluate``/``sweep`` dedups against the store).
+IDEMPOTENT_VERBS = frozenset({"ping", "stats", "evaluate", "sweep"})
 
 
 class ServiceError(RuntimeError):
     """The daemon processed the request and reported a failure."""
 
 
+class ServiceDegradedWarning(UserWarning):
+    """The daemon was unreachable; the client evaluated locally."""
+
+
 class ServiceClient:
-    """One connection to a running evaluation daemon."""
+    """One connection to a running evaluation daemon.
+
+    ``retries`` bounds resends of idempotent verbs after transport
+    failure (0 disables); ``retry_policy`` shapes the backoff between
+    attempts.  ``deadline`` is a per-request budget in seconds, both
+    enforced locally and propagated to the daemon as ``deadline_s``.
+    ``degrade`` picks the behaviour when every attempt at an
+    ``evaluate``/``sweep`` fails in transport: ``"fail"`` re-raises,
+    ``"local"`` falls back to in-process evaluation.  ``rng`` and
+    ``sleep`` are injectable for deterministic tests.
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = DEFAULT_PORT,
         timeout: Optional[float] = 300.0,
+        retries: int = 2,
+        retry_policy: Optional[RetryPolicy] = None,
+        deadline: Optional[float] = None,
+        degrade: str = "fail",
+        rng=None,
+        sleep=time.sleep,
     ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if degrade not in ("fail", "local"):
+            raise ValueError('degrade must be "fail" or "local"')
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy(retries=retries)
+        )
+        self.deadline = deadline
+        self.degrade = degrade
+        self._rng = rng
+        self._sleep = sleep
         self._sock: Optional[socket.socket] = None
         self._reader = None
+        self.resilience: Dict[str, int] = {
+            "retries": 0,
+            "reconnects": 0,
+            "degraded": 0,
+        }
 
     # -- connection management ----------------------------------------------
 
@@ -74,16 +138,13 @@ class ServiceClient:
 
     # -- the wire ------------------------------------------------------------
 
-    def call(self, verb: str, **payload: Any) -> Any:
-        """One request/response round trip; returns the ``result``.
+    def _exchange(self, request: Dict[str, Any]) -> Any:
+        """One raw request/response round trip on the live connection.
 
         Any transport failure (timeout included) closes the connection:
         a response that arrives after a timeout would otherwise sit in
         the buffer and be read as the answer to the *next* request.
-        The next call reconnects transparently.
         """
-        self.connect()
-        request = {"verb": verb, **payload}
         try:
             self._sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
             line = self._reader.readline()
@@ -93,12 +154,59 @@ class ServiceClient:
             raise
         if response is None:
             self.close()
-            raise ServiceError(
+            raise ConnectionResetError(
                 f"daemon at {self.host}:{self.port} closed the connection"
             )
         if not response.get("ok"):
             raise ServiceError(response.get("error", "unknown daemon error"))
         return response["result"]
+
+    def call(self, verb: str, **payload: Any) -> Any:
+        """One request/response round trip; returns the ``result``.
+
+        Idempotent verbs survive transport failure: a stale reused
+        connection gets one free reconnect-and-resend, and fresh
+        failures are retried up to ``retries`` times with backoff.
+        Non-idempotent verbs (``shutdown``) fail on the first transport
+        error.  Daemon-reported errors (:class:`ServiceError`) are
+        never retried -- the daemon already answered.
+        """
+        request = {"verb": verb, **payload}
+        started = time.monotonic()
+        if self.deadline is not None and verb in IDEMPOTENT_VERBS:
+            request.setdefault("deadline_s", self.deadline)
+        idempotent = verb in IDEMPOTENT_VERBS
+        attempts = (1 + self.retries) if idempotent else 1
+        resend_spent = False
+        attempt = 0
+        while True:
+            reused = self._sock is not None
+            try:
+                self.connect()
+                return self._exchange(request)
+            except ServiceError:
+                raise
+            except (OSError, ValueError) as exc:
+                if not idempotent:
+                    raise
+                if self.deadline is not None:
+                    remaining = self.deadline - (time.monotonic() - started)
+                    if remaining <= 0:
+                        raise
+                    request["deadline_s"] = remaining
+                if reused and not resend_spent:
+                    # The daemon may simply have restarted since the
+                    # last call on this connection; resending on a
+                    # fresh socket is free and does not touch the
+                    # retry budget.
+                    resend_spent = True
+                    self.resilience["reconnects"] += 1
+                    continue
+                attempt += 1
+                if attempt >= attempts:
+                    raise
+                self.resilience["retries"] += 1
+                self._sleep(self.retry_policy.delay(attempt - 1, rng=self._rng))
 
     # -- verbs ---------------------------------------------------------------
 
@@ -110,20 +218,58 @@ class ServiceClient:
         """Request counters plus scheduler/cache/store statistics."""
         return self.call("stats")
 
+    def _degrade_local(self, what: str, runner, exc: Exception) -> ResultSet:
+        """Fall back to in-process evaluation after transport exhaustion."""
+        from repro.experiments import common
+
+        warnings.warn(
+            f"evaluation daemon at {self.host}:{self.port} unreachable "
+            f"({type(exc).__name__}: {exc}); degrading {what} to local "
+            f"in-process evaluation",
+            ServiceDegradedWarning,
+            stacklevel=3,
+        )
+        self.resilience["degraded"] += 1
+        common.note_degraded()
+        return runner()
+
     def evaluate(self, scenario: Union[Scenario, Mapping[str, Any]]) -> ResultSet:
-        """Evaluate one scenario remotely."""
+        """Evaluate one scenario remotely (or locally, when degrading)."""
         if isinstance(scenario, Scenario):
             scenario = scenario.to_dict()
-        result = self.call("evaluate", scenario=dict(scenario))
+        scenario = dict(scenario)
+        try:
+            result = self.call("evaluate", scenario=scenario)
+        except (OSError, ValueError) as exc:
+            if self.degrade != "local":
+                raise
+            return self._degrade_local(
+                "evaluate",
+                lambda: ResultSet(Scenario.from_dict(scenario).records()),
+                exc,
+            )
         return ResultSet(result["records"])
 
     def sweep(self, sweep: Union[Sweep, Mapping[str, Any]]) -> ResultSet:
-        """Evaluate a whole sweep grid remotely."""
+        """Evaluate a whole sweep grid remotely (or locally, degrading)."""
         if isinstance(sweep, Sweep):
             sweep = sweep.to_dict()
-        result = self.call("sweep", sweep=dict(sweep))
+        sweep = dict(sweep)
+        try:
+            result = self.call("sweep", sweep=sweep)
+        except (OSError, ValueError) as exc:
+            if self.degrade != "local":
+                raise
+            return self._degrade_local(
+                "sweep", lambda: Sweep.from_dict(sweep).run(), exc
+            )
         return ResultSet(result["records"])
 
     def shutdown(self) -> Dict[str, Any]:
-        """Ask the daemon to stop serving (acknowledged before exit)."""
+        """Ask the daemon to stop serving (acknowledged before exit).
+
+        Never retried or resent: a shutdown that was delivered but not
+        acknowledged must not be fired twice at whatever starts
+        listening on the port next.
+        """
         return self.call("shutdown")

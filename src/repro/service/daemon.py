@@ -32,9 +32,11 @@ thread and returns a handle -- the form tests and doctests use.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import os
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.experiments import common
@@ -64,6 +66,10 @@ class ServiceProtocolError(ValueError):
     """A request the daemon understood enough to reject."""
 
 
+class DeadlineExceeded(ServiceProtocolError):
+    """A request whose client-supplied deadline lapsed before execution."""
+
+
 class EvaluationDaemon:
     """Request dispatch around one scheduler (transport-independent)."""
 
@@ -72,16 +78,42 @@ class EvaluationDaemon:
         self.requests: Dict[str, int] = {}
         self.stopping = False
 
-    def dispatch(self, request: Any) -> Any:
-        """One decoded request object -> the response's ``result``."""
+    def dispatch(self, request: Any, received: Optional[float] = None) -> Any:
+        """One decoded request object -> the response's ``result``.
+
+        ``received`` is the monotonic receipt time; a request carrying
+        ``deadline_s`` (the client's remaining per-request budget) is
+        rejected here -- possibly after waiting out the batch lock --
+        rather than evaluated for a caller that stopped listening.  The
+        client never retries a :class:`DeadlineExceeded` answer: the
+        budget is gone either way.
+        """
         if not isinstance(request, dict) or "verb" not in request:
             raise ServiceProtocolError(
                 'requests are JSON objects with a "verb" key'
             )
         verb = request["verb"]
-        handler = getattr(self, f"_verb_{verb.replace('-', '_')}", None)
+        handler = (
+            getattr(self, f"_verb_{verb.replace('-', '_')}", None)
+            if isinstance(verb, str)
+            else None
+        )
         if handler is None:
             raise ServiceProtocolError(f"unknown verb {verb!r}")
+        deadline = request.get("deadline_s")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise ServiceProtocolError(
+                    f"deadline_s must be a number, got {deadline!r}"
+                ) from None
+            waited = time.monotonic() - received if received is not None else 0.0
+            if waited >= deadline:
+                raise DeadlineExceeded(
+                    f"request deadline of {deadline:g}s lapsed before "
+                    f"execution ({waited:.3f}s queued)"
+                )
         self.requests[verb] = self.requests.get(verb, 0) + 1
         return handler(request)
 
@@ -156,23 +188,26 @@ async def _serve_async(
                 if not line.strip():
                     continue
                 try:
+                    received = time.monotonic()
                     request = json.loads(line)
                     verb = _verb_of(request)
                     if verb in _INLINE_VERBS:
                         # Answer immediately, even while a batch is
                         # simulating on the executor.
-                        result = daemon.dispatch(request)
+                        result = daemon.dispatch(request, received)
                     elif verb in _UNLOCKED_VERBS:
                         result = await loop.run_in_executor(
-                            None, daemon.dispatch, request
+                            None, daemon.dispatch, request, received
                         )
                     else:
                         # One batch at a time: the scheduler owns the
-                        # process pool, and interleaved submits would
-                        # interleave its stats and store scoping.
+                        # evaluation runtime, and interleaved submits
+                        # would interleave its stats and store scoping.
+                        # (Deadlines are re-checked inside dispatch, so
+                        # time queued on this lock counts against them.)
                         async with lock:
                             result = await loop.run_in_executor(
-                                None, daemon.dispatch, request
+                                None, daemon.dispatch, request, received
                             )
                     response = {"ok": True, "result": result}
                 except Exception as exc:  # noqa: BLE001 - protocol boundary
@@ -190,9 +225,15 @@ async def _serve_async(
     if announce is not None:
         announce(host, actual_port)
     if ready is not None:
-        ready.put((host, actual_port))
-    async with server:
-        await stopped.wait()
+        # The loop + stop event ride along so ServerHandle.stop can
+        # escalate past an unresponsive wire protocol (see stop()).
+        ready.put((host, actual_port, loop, stopped))
+    try:
+        async with server:
+            await stopped.wait()
+    finally:
+        # Serving is over: stop the worker fleet and flush the store.
+        daemon.scheduler.close()
 
 
 def serve(
@@ -201,16 +242,21 @@ def serve(
     store: Optional[str] = None,
     jobs: int = 1,
     max_bytes: Optional[int] = None,
+    workers: int = 0,
     announce=print,
 ) -> None:
     """Run the daemon in the foreground until a ``shutdown`` request.
+
+    ``workers=N`` serves store misses through a supervised fleet of N
+    persistent worker subprocesses (heartbeats, backoff restarts, crash
+    requeue) instead of a per-batch process pool.
 
     ``announce(host, port)`` fires once the socket is bound -- the CLI
     prints the ``serving on host:port`` line scripts parse to find an
     ephemeral port.
     """
     daemon = EvaluationDaemon(
-        BatchScheduler(store=store, jobs=jobs, max_bytes=max_bytes)
+        BatchScheduler(store=store, jobs=jobs, max_bytes=max_bytes, workers=workers)
     )
 
     def _announce(h, p):
@@ -226,17 +272,31 @@ def serve(
 class ServerHandle:
     """A background server: its bound address plus a ``stop()`` switch."""
 
-    def __init__(self, host: str, port: int, thread: threading.Thread) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        thread: threading.Thread,
+        force_stop=None,
+    ) -> None:
         self.host = host
         self.port = port
         self._thread = thread
+        self._force_stop = force_stop
 
     @property
     def address(self) -> Tuple[str, int]:
         return (self.host, self.port)
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """Ask the server to shut down and join its thread."""
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Shut the server down; returns whether its thread terminated.
+
+        Escalation ladder: (1) a polite ``shutdown`` over the wire --
+        the normal path; (2) if the wire is unreachable or the thread
+        outlives ``timeout``, force the serve loop's stop event directly
+        on its own event loop, then join again.  Calling ``stop`` on an
+        already-stopped server is a no-op that returns ``True``.
+        """
         from repro.service.client import ServiceClient, ServiceError
 
         if self._thread.is_alive():
@@ -244,8 +304,12 @@ class ServerHandle:
                 with ServiceClient(self.host, self.port) as client:
                     client.shutdown()
             except (OSError, ServiceError):
-                pass  # already stopping (or gone): joining is all that's left
+                pass  # already stopping (or gone): escalate below
         self._thread.join(timeout)
+        if self._thread.is_alive() and self._force_stop is not None:
+            self._force_stop()
+            self._thread.join(timeout)
+        return not self._thread.is_alive()
 
 
 def serve_background(
@@ -254,24 +318,34 @@ def serve_background(
     store: Optional[str] = None,
     jobs: int = 1,
     max_bytes: Optional[int] = None,
+    workers: int = 0,
+    scheduler: Optional[BatchScheduler] = None,
 ) -> ServerHandle:
     """Start the daemon on a daemon thread; returns once it accepts.
 
     ``port=0`` binds an ephemeral port; the handle carries the actual
     address.  Used by tests, doctests and embedders that want a warm
-    shared cache without a separate process.
+    shared cache without a separate process.  ``scheduler`` injects a
+    pre-built scheduler (tests hand in fleets with tight timeouts).
     """
     import queue
 
     ready: "queue.Queue" = queue.Queue()
-    daemon = EvaluationDaemon(
-        BatchScheduler(store=store, jobs=jobs, max_bytes=max_bytes)
-    )
+    if scheduler is None:
+        scheduler = BatchScheduler(
+            store=store, jobs=jobs, max_bytes=max_bytes, workers=workers
+        )
+    daemon = EvaluationDaemon(scheduler)
     thread = threading.Thread(
         target=lambda: asyncio.run(_serve_async(daemon, host, port, ready=ready)),
         name="repro-service",
         daemon=True,
     )
     thread.start()
-    bound_host, bound_port = ready.get(timeout=30)
-    return ServerHandle(bound_host, bound_port, thread)
+    bound_host, bound_port, loop, stopped = ready.get(timeout=30)
+
+    def force_stop():
+        with contextlib.suppress(RuntimeError):  # loop already closed
+            loop.call_soon_threadsafe(stopped.set)
+
+    return ServerHandle(bound_host, bound_port, thread, force_stop=force_stop)

@@ -1,0 +1,115 @@
+"""Retry/backoff policy and circuit breaker for the service layer.
+
+Both primitives are deliberately tiny and deterministic-by-injection:
+
+- :class:`RetryPolicy` computes bounded exponential backoff delays.
+  Jitter is drawn from a caller-supplied ``random.Random`` (or skipped
+  when none is given), so tests and the seeded chaos harness replay the
+  exact same schedule while production callers still decorrelate.
+- :class:`CircuitBreaker` is the classic closed -> open -> half-open
+  state machine over *consecutive* failures.  The clock is injectable
+  (``time.monotonic`` by default) so the open->half-open transition is
+  testable without sleeping.
+
+They are shared by the resilient :class:`~repro.service.client.ServiceClient`
+(transport retries) and the :class:`~repro.service.resilience.supervisor.WorkerFleet`
+(worker restart pacing and the stop-restarting-a-crashing-fleet guard).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff: ``base * multiplier**attempt``, capped.
+
+    ``jitter`` is the maximum *fraction* added on top of the computed
+    delay (0.5 means "up to +50%"); it only applies when the caller
+    passes an rng, so un-seeded use stays deterministic.
+    """
+
+    retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """The backoff before retry number ``attempt`` (0-based)."""
+        delay = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if rng is not None and self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def delays(self, rng=None) -> Iterator[float]:
+        """One delay per allowed retry, in order."""
+        for attempt in range(self.retries):
+            yield self.delay(attempt, rng)
+
+
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` *consecutive* failures.
+
+    While **open**, :meth:`allow` answers ``False`` until ``reset_after``
+    seconds pass; then one probe is allowed through (**half-open**).  A
+    success closes the circuit, a failure re-opens it with a fresh
+    timer.  Any success resets the consecutive-failure count.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if self._probing or self._clock() - self._opened_at >= self.reset_after:
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allow(self) -> bool:
+        """May the caller attempt the protected operation right now?"""
+        if self._opened_at is None:
+            return True
+        if self._probing:
+            # One half-open probe is already in flight; hold the line.
+            return False
+        if self._clock() - self._opened_at >= self.reset_after:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._probing or self._failures >= self.failure_threshold:
+            self._opened_at = self._clock()
+            self._probing = False

@@ -14,18 +14,35 @@ Layout under the store root::
       index.json               # LRU bookkeeping: {digest: {size, tick}}
       objects/<dd>/<digest>.json   # one JSON document per entry
 
+Layout under the store root (continued)::
+
+      journal/<digest>.<pid>.json  # write-ahead intents (in-flight puts)
+      quarantine/<digest>.json     # corrupt entries, preserved not served
+
 Design points:
 
-- **Atomic writes.**  Every object and every index snapshot is written
-  to a same-directory temporary file and ``os.replace``d into place, so
-  a reader never observes a half-written entry and two concurrent
-  writers of the same digest leave one intact winner (last writer wins;
-  the content is identical by construction anyway).
+- **Atomic, durable writes.**  Every object and every index snapshot is
+  written to a same-directory temporary file and ``os.replace``d into
+  place, so a reader never observes a half-written entry and two
+  concurrent writers of the same digest leave one intact winner (last
+  writer wins; the content is identical by construction anyway).  With
+  ``fsync`` enabled (the default), the temp file is fsynced *before*
+  the rename and the directory after it, so a committed entry survives
+  power loss; ``fsync=False`` (or ``REPRO_STORE_FSYNC=0``) is the fast
+  path for tests and throwaway stores.
+- **Journaled puts.**  Each object write is preceded by a write-ahead
+  intent record (:class:`~repro.service.resilience.journal.IntentJournal`).
+  Opening a store runs a **recovery scan**: interrupted puts are rolled
+  forward (a complete temp file is renamed into place) or discarded
+  (debris deleted); counts surface in :meth:`ResultStore.stats` as
+  ``recovered_forward`` / ``recovered_discarded``.
 - **Corruption tolerance.**  An entry that fails to parse (truncated,
-  overwritten, hand-edited) is treated as a *miss* and unlinked; the
-  index is advisory and is reconciled against the ``objects/`` tree
-  whenever it disagrees, so deleting ``index.json`` loses nothing but
-  recency ordering.
+  overwritten, hand-edited) is treated as a *miss* and **quarantined**
+  -- moved to ``quarantine/``, never served, never silently destroyed
+  (the bytes stay available for post-mortems); the ``quarantined``
+  counter surfaces in ``stats``.  The index is advisory and is
+  reconciled against the ``objects/`` tree whenever it disagrees, so
+  deleting ``index.json`` loses nothing but recency ordering.
 - **LRU size-bounding.**  With ``max_bytes`` set, least-recently-used
   entries are evicted after each put until the payload bytes fit.
   Recency is a monotonic logical tick bumped on every hit and put (not
@@ -40,13 +57,23 @@ codec (see :mod:`repro.service.codec` for ``SystemResult`` documents).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
-import tempfile
 import threading
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro.service.resilience.journal import (
+    IntentJournal,
+    atomic_write_text,
+    fsync_dir,
+)
+
+#: Environment switch for the durability fast path: ``0`` disables the
+#: fsync-before-rename discipline process-wide (tests, scratch stores).
+FSYNC_ENV = "REPRO_STORE_FSYNC"
 
 #: Salt folded into every digest.  Bump when the cost model or the
 #: stored document schema changes meaning: old entries then simply stop
@@ -70,43 +97,74 @@ def digest_payload(payload: Mapping[str, Any]) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` via a same-directory temp + rename."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
-    )
+def _atomic_write_text(path: Path, text: str, fsync: bool = True) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp + rename.
+
+    With ``fsync`` (the default) the write is also *durable*: the temp
+    file is fsynced before the rename and the directory after it.  Kept
+    as the store's historical entry point; the implementation lives in
+    :func:`repro.service.resilience.journal.atomic_write_text`.
+    """
+    atomic_write_text(path, text, fsync=fsync)
+
+
+def _default_fsync() -> bool:
+    return os.environ.get(FSYNC_ENV, "1") != "0"
+
+
+def _parses_as_json(path: Path) -> bool:
+    """Is this file a complete JSON document? (The journal's validator.)"""
     try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(text)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+        json.loads(path.read_bytes())
+        return True
+    except (OSError, ValueError):
+        return False
 
 
 class ResultStore:
     """A content-addressed, size-bounded, on-disk JSON document store."""
 
-    def __init__(self, root: os.PathLike, max_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        root: os.PathLike,
+        max_bytes: Optional[int] = None,
+        fsync: Optional[bool] = None,
+    ) -> None:
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None for unbounded)")
         self._root = Path(root)
         self._objects = self._root / "objects"
+        self._quarantine_dir = self._root / "quarantine"
         self._index_path = self._root / "index.json"
         self._max_bytes = max_bytes
-        self._stats = {"hits": 0, "misses": 0, "evictions": 0, "puts": 0}
+        self._fsync = _default_fsync() if fsync is None else bool(fsync)
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "puts": 0,
+            "quarantined": 0,
+            "recovered_forward": 0,
+            "recovered_discarded": 0,
+        }
         self._objects.mkdir(parents=True, exist_ok=True)
         # One handle may be shared across threads (the daemon answers
         # read verbs while a batch writes); every public operation takes
         # this lock, so the in-memory index never tears.
         self._lock = threading.RLock()
+        self._journal = IntentJournal(self._root, fsync=self._fsync)
+        self._recover()
         self._tick, self._entries = self._load_index()
         self._index_dirty = False
         self._reconcile()
+
+    def _recover(self) -> None:
+        """Startup recovery scan: settle every surviving write intent."""
+        counts = self._journal.recover(
+            validate=_parses_as_json, quarantine=self._quarantine
+        )
+        self._stats["recovered_forward"] += counts["rolled_forward"]
+        self._stats["recovered_discarded"] += counts["discarded"]
 
     # -- identity ------------------------------------------------------------
 
@@ -140,9 +198,13 @@ class ResultStore:
             return 0, {}
 
     def _save_index(self) -> None:
+        # The index is advisory (rebuilt from the objects tree), so it
+        # rides the fast path even on durable stores: an index lost to a
+        # crash costs recency ordering, nothing else.
         _atomic_write_text(
             self._index_path,
             json.dumps({"tick": self._tick, "entries": self._entries}),
+            fsync=False,
         )
         self._index_dirty = False
 
@@ -207,9 +269,13 @@ class ResultStore:
                 self._stats["misses"] += 1
             return None
         except (OSError, ValueError):
+            # Never serve a torn entry -- and never silently destroy it
+            # either: quarantine preserves the bytes for post-mortems
+            # while the next put heals the slot.
             with self._lock:
                 self._stats["misses"] += 1
-                self._drop(digest)
+                self._quarantine(path)
+                self._entries.pop(digest, None)
                 self._save_index()
             return None
         with self._lock:
@@ -225,16 +291,49 @@ class ResultStore:
         return document
 
     def put(self, digest: str, document: Mapping[str, Any]) -> Path:
-        """Store one JSON document under its digest (idempotent)."""
+        """Store one JSON document under its digest (idempotent).
+
+        The write is **journaled**: an intent record naming the temp and
+        final paths is persisted first, so a ``kill -9`` anywhere inside
+        the put is settled by the next open's recovery scan -- rolled
+        forward if the temp file was complete, discarded otherwise.
+        The temp name carries the pid, so concurrent writers of the
+        same digest never share (or tear) a temp file.
+        """
         path = self._object_path(digest)
         text = json.dumps(document, sort_keys=True)
-        _atomic_write_text(path, text)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{digest}.{os.getpid()}.tmp"
+        with self._journal.intent(digest, final=path, tmp=tmp):
+            try:
+                with open(tmp, "w") as fh:
+                    fh.write(text)
+                    if self._fsync:
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                os.replace(tmp, path)
+                if self._fsync:
+                    fsync_dir(path.parent)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp)
+                raise
         with self._lock:
             self._stats["puts"] += 1
             self._touch(digest, size=len(text))
             self._evict_to_budget(keep=digest)
             self._save_index()
         return path
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt object aside where it can never be served."""
+        self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, self._quarantine_dir / path.name)
+        except OSError:
+            with contextlib.suppress(OSError):
+                path.unlink()
+        self._stats["quarantined"] += 1
 
     def _drop(self, digest: str) -> None:
         try:
@@ -275,6 +374,62 @@ class ResultStore:
         with self._lock:
             if self._index_dirty:
                 self._save_index()
+
+    @property
+    def fsync(self) -> bool:
+        return self._fsync
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self._quarantine_dir
+
+    def quarantined(self) -> Iterator[str]:
+        """Names of quarantined entries (digest filenames), sorted."""
+        if not self._quarantine_dir.is_dir():
+            return iter(())
+        return iter(sorted(p.name for p in self._quarantine_dir.glob("*.json")))
+
+    def verify(self) -> Dict[str, int]:
+        """Full integrity scan: settle intents, validate every object.
+
+        Walks the whole objects tree (not just journaled paths),
+        quarantines anything that fails to parse, and reports what it
+        found.  This is the explicit, heavyweight counterpart of the
+        automatic startup recovery scan -- the chaos harness and the
+        ``recover`` CLI call it to prove no torn write can ever be
+        served.
+        """
+        with self._lock:
+            recovered = self._journal.recover(
+                validate=_parses_as_json, quarantine=self._quarantine
+            )
+            self._stats["recovered_forward"] += recovered["rolled_forward"]
+            self._stats["recovered_discarded"] += recovered["discarded"]
+            checked = corrupt = 0
+            for path in sorted(self._objects.glob("*/*.json")):
+                checked += 1
+                if not _parses_as_json(path):
+                    self._quarantine(path)
+                    self._entries.pop(path.stem, None)
+                    corrupt += 1
+            debris = 0
+            for tmp in self._objects.glob("*/.*.tmp"):
+                # Unjournaled leftovers (pre-journal stores, interrupted
+                # index writes): plain debris, safe to delete.
+                with contextlib.suppress(OSError):
+                    tmp.unlink()
+                    debris += 1
+            self._reconcile()
+            self._save_index()
+            return {
+                "checked": checked,
+                "quarantined_now": corrupt,
+                "quarantined_total": self._stats["quarantined"],
+                "rolled_forward": self._stats["recovered_forward"],
+                "discarded": self._stats["recovered_discarded"],
+                "debris_removed": debris,
+                "entries": len(self._entries),
+            }
 
     def digests(self) -> Iterator[str]:
         """Known digests, least-recently-used first."""

@@ -1,15 +1,8 @@
 """Line-coverage gate for the fault-injection subsystem.
 
-Runs the fault test modules in-process under a ``sys.settrace`` line
-tracer restricted to ``src/repro/faults/`` and fails (exit 1) if any
-file in the package falls below the threshold.  Stdlib-only by design:
-the container has no ``coverage`` package, and the gate must run
-anywhere the repo's Python does.
-
-Executable lines are derived from the compiled code objects
-(``co_lines`` over the module and every nested function/class body),
-the same source of truth the interpreter reports trace events from, so
-the two sides of the ratio can never disagree about what counts.
+Thin compatibility wrapper: the actual tracer and the per-subsystem
+gate table live in :mod:`tools.coverage_gate` (which also gates the
+service package).  ``make coverage`` still calls this entry point.
 
 Usage::
 
@@ -19,121 +12,16 @@ Usage::
 
 from __future__ import annotations
 
-import argparse
 import sys
-import threading
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parents[1]
-TARGET_DIR = ROOT / "src" / "repro" / "faults"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-#: Test modules that drive the faults package (kept in sync with
-#: ``make test-faults``).
-FAULT_TESTS = (
-    "tests/test_faults_properties.py",
-    "tests/test_faults_determinism.py",
-    "tests/test_faults_edgecases.py",
-    "tests/test_fault_sweep.py",
-)
-
-DEFAULT_MIN_PCT = 90.0
-
-
-def executable_lines(path: Path) -> set:
-    """Line numbers carrying bytecode, from the compiled code objects."""
-    code = compile(path.read_text(), str(path), "exec")
-    lines: set = set()
-    stack = [code]
-    while stack:
-        obj = stack.pop()
-        # line 0 is the compiler's module preamble (RESUME), not source.
-        lines.update(
-            line for _, _, line in obj.co_lines() if line is not None and line > 0
-        )
-        stack.extend(c for c in obj.co_consts if hasattr(c, "co_lines"))
-    return lines
-
-
-class LineTracer:
-    """Records line events for the target files only.
-
-    The global trace function declines (returns ``None``) for frames
-    outside the target set, so the interpreter runs everything else at
-    full speed.
-    """
-
-    def __init__(self, targets: dict) -> None:
-        self._targets = targets  # filename -> set of hit lines
-        self._previous = None
-
-    def _local(self, frame, event, arg):
-        if event == "line":
-            hits = self._targets.get(frame.f_code.co_filename)
-            if hits is not None:
-                hits.add(frame.f_lineno)
-        return self._local
-
-    def _global(self, frame, event, arg):
-        if frame.f_code.co_filename in self._targets:
-            return self._local(frame, event, arg)
-        return None
-
-    def __enter__(self):
-        self._previous = sys.gettrace()
-        threading.settrace(self._global)
-        sys.settrace(self._global)
-        return self
-
-    def __exit__(self, *exc):
-        sys.settrace(self._previous)
-        threading.settrace(self._previous)
-        return False
+from coverage_gate import main as _gate_main  # noqa: E402
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--min", type=float, default=DEFAULT_MIN_PCT, metavar="PCT",
-        help=f"fail if any faults file is below PCT percent line "
-             f"coverage (default {DEFAULT_MIN_PCT:g})",
-    )
-    args = parser.parse_args(argv)
-
-    sys.path.insert(0, str(ROOT / "src"))
-    sys.path.insert(0, str(ROOT))
-    files = sorted(TARGET_DIR.glob("*.py"))
-    if not files:
-        print(f"no Python files under {TARGET_DIR}", file=sys.stderr)
-        return 1
-    wanted = {str(path): executable_lines(path) for path in files}
-    hits = {name: set() for name in wanted}
-
-    import pytest  # deferred: path setup above must come first
-
-    with LineTracer(hits):
-        status = pytest.main(["-q", *FAULT_TESTS])
-    if status != 0:
-        print("fault test suite failed; coverage not evaluated",
-              file=sys.stderr)
-        return int(status)
-
-    print(f"\nline coverage of src/repro/faults/ (gate: {args.min:g}%):")
-    failed = False
-    for name in sorted(wanted):
-        want = wanted[name]
-        got = hits[name] & want
-        pct = 100.0 * len(got) / len(want) if want else 100.0
-        short = Path(name).relative_to(ROOT)
-        missing = sorted(want - got)
-        note = f"  missing lines: {missing}" if missing else ""
-        print(f"  {short}: {pct:.1f}% ({len(got)}/{len(want)}){note}")
-        if pct < args.min:
-            failed = True
-    if failed:
-        print(f"FAIL: coverage below {args.min:g}%", file=sys.stderr)
-        return 1
-    print(f"OK: every faults file is at or above {args.min:g}% line coverage.")
-    return 0
+    return _gate_main(["faults", *(argv if argv is not None else sys.argv[1:])])
 
 
 if __name__ == "__main__":
