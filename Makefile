@@ -4,8 +4,8 @@
 PY ?= python
 export PYTHONPATH := src
 
-#: Current perf-trajectory point; bump per perf PR (BENCH_PR6.json, ...).
-BENCH_JSON ?= BENCH_PR5.json
+#: Current perf-trajectory point; bump per perf PR (BENCH_PR9.json, ...).
+BENCH_JSON ?= BENCH_PR8.json
 
 #: Experiment profiled by `make profile` (fig6, fig7, ..., table5, skew).
 EXPERIMENT ?= fig6
@@ -21,19 +21,24 @@ FAULTS_MIN_COVERAGE ?= 90
 #: the evaluation-service package (resilience layer included).
 SERVICE_MIN_COVERAGE ?= 90
 
+#: Minimum line coverage (percent) `make coverage-suites` demands of
+#: the benchmark-suite package.
+SUITES_MIN_COVERAGE ?= 90
+
 #: Deterministic wire-fault schedule seeds replayed by `make chaos-test`.
 CHAOS_SEEDS ?= --seed 7 --seed 17
 
-.PHONY: test test-faults coverage coverage-service chaos-test docs-check report pipelines sweep-smoke service-smoke bench bench-compare profile
+.PHONY: test test-faults coverage coverage-service coverage-suites chaos-test docs-check report pipelines sweep-smoke service-smoke suites-smoke bench bench-compare profile
 
 ## Tier-1 verification: full unit/integration/experiment + benchmark
-## suite, then the fault-injection suite, the sweep-smoke and
-## service-smoke golden checks, and the chaos harness.
+## suite, then the fault-injection suite, the sweep-smoke, service-smoke
+## and suites-smoke golden checks, and the chaos harness.
 test:
 	$(PY) -m pytest -x -q
 	$(MAKE) test-faults
 	$(MAKE) sweep-smoke
 	$(MAKE) service-smoke
+	$(MAKE) suites-smoke
 	$(MAKE) chaos-test
 
 ## Fault-injection suite: property harness (output byte-identity under
@@ -55,6 +60,11 @@ coverage:
 coverage-service:
 	$(PY) tools/coverage_gate.py service --min $(SERVICE_MIN_COVERAGE)
 
+## Suite coverage gate: run the suite tests under the stdlib tracer;
+## fail if any src/repro/suites/ file is below SUITES_MIN_COVERAGE%.
+coverage-suites:
+	$(PY) tools/coverage_gate.py suites --min $(SUITES_MIN_COVERAGE)
+
 ## Chaos harness: replay the sweep-smoke grid through a real daemon
 ## under worker SIGKILLs, torn store writes, seeded wire faults and
 ## daemon loss, asserting every export stays byte-identical to the
@@ -72,6 +82,17 @@ sweep-smoke:
 	  | diff - tests/data/sweep_smoke_golden.json
 	@echo "sweep-smoke OK: ResultSet matches the committed golden file."
 
+## Benchmark-suite smoke test: run a 2x2 suite grid (string-key +
+## skew-family suites on CPU and Mondrian) plus the full-grid ranked
+## score report, and diff both against the committed goldens.
+suites-smoke:
+	REPRO_STORE= $(PY) -m repro.suites run --suite dict-products \
+	  --suite skew-hotspot --system cpu --system mondrian --json - \
+	  | diff - tests/data/suites_smoke_golden.json
+	REPRO_STORE= $(PY) -m repro.suites score --json - \
+	  | diff - tests/data/suites_score_golden.json
+	@echo "suites-smoke OK: suite records and score report match the goldens."
+
 ## Evaluation-service smoke test: start the daemon on an ephemeral port
 ## with a fresh store, submit the sweep-smoke grid twice through the
 ## service CLI, and assert the second pass is 100% store hits with
@@ -86,6 +107,7 @@ docs-check:
 	$(PY) -m pytest -q tests/test_docs.py
 	$(PY) -m repro.experiments.run_all --fast > /dev/null
 	$(PY) -m repro.experiments.run_all --fast --pipelines > /dev/null
+	$(PY) -m repro.suites list > /dev/null
 	@echo "docs-check OK: doc examples pass and documented commands run."
 
 ## Full paper-artifact report at paper scale.

@@ -6,12 +6,13 @@ Usage::
     python benchmarks/compare.py --latest            # newest two BENCH_*.json
     python benchmarks/compare.py --latest --max-regression 10
 
-Prints per-benchmark mean times and the speedup of NEW over OLD
-(>1x means NEW is faster), plus benchmarks present in only one file.
-By default the comparison is informational (exits non-zero only on
-usage errors); with ``--max-regression PCT`` any shared benchmark whose
-mean regressed more than PCT percent is flagged and the exit status is
-non-zero -- the perf gate ``make bench-compare`` runs in CI.
+Prints per-benchmark representative times (the min round; see
+``load_means``) and the speedup of NEW over OLD (>1x means NEW is
+faster), plus benchmarks present in only one file.  By default the
+comparison is informational (exits non-zero only on usage errors); with
+``--max-regression PCT`` any shared benchmark that regressed more than
+PCT percent is flagged and the exit status is non-zero -- the perf gate
+``make bench-compare`` runs in CI.
 
 No third-party dependencies: runs anywhere the repo's Python does.
 """
@@ -28,10 +29,21 @@ ROOT = Path(__file__).resolve().parents[1]
 
 
 def load_means(path: Path) -> dict:
-    """benchmark name -> mean seconds, from a pytest-benchmark JSON."""
+    """benchmark name -> representative seconds, from a pytest-benchmark JSON.
+
+    The representative time is the *minimum* round when present (the
+    benches run identical restored-cold rounds, so scheduler jitter only
+    ever adds time and the min estimates the true cost), falling back to
+    the mean for files recorded before multi-round benches -- under the
+    old ``rounds=1`` regime the two are the same number, so trajectory
+    points stay comparable.
+    """
     with path.open() as fh:
         payload = json.load(fh)
-    return {b["name"]: b["stats"]["mean"] for b in payload.get("benchmarks", [])}
+    return {
+        b["name"]: b["stats"].get("min", b["stats"].get("mean"))
+        for b in payload.get("benchmarks", [])
+    }
 
 
 def find_latest_pair() -> tuple:
@@ -130,7 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--latest", action="store_true",
                         help="compare the two newest BENCH_*.json in the repo root")
     parser.add_argument("--max-regression", type=float, default=None, metavar="PCT",
-                        help="fail (exit 1) if any shared benchmark's mean "
+                        help="fail (exit 1) if any shared benchmark "
                              "regressed more than PCT percent vs OLD")
     return parser
 

@@ -13,6 +13,7 @@ The warm/cold ratio is the service's whole value proposition, so it
 rides the perf trajectory (``BENCH_PR4.json``) from this PR on.
 """
 
+import shutil
 from pathlib import Path
 
 from benchmarks.conftest import run_once
@@ -35,9 +36,14 @@ def _run_with_store(store_dir) -> int:
 
 
 def test_sweep_cold_store(benchmark, tmp_path):
-    records = run_once(benchmark, _run_with_store, tmp_path / "store")
+    store = tmp_path / "store"
+
+    def empty_store():  # every round starts from an empty directory
+        shutil.rmtree(store, ignore_errors=True)
+
+    records = run_once(benchmark, _run_with_store, store, restore=empty_store)
     assert records > 0
-    assert len(list((tmp_path / "store").glob("objects/*/*.json"))) == 4
+    assert len(list(store.glob("objects/*/*.json"))) == 4
 
 
 def test_sweep_warm_store(benchmark, tmp_path):

@@ -1,0 +1,88 @@
+"""Bench: the benchmark-suite subsystem, one representative suite per
+workload family plus the scored full grid.
+
+Each family bench times the full cold pipeline for one registered suite
+on the CPU baseline and Mondrian: typed workload generation (packed
+composite keys, dictionary-encoded strings, windowed streams, skewed
+users), ``QueryPlan`` execution through ``Machine.run_pipeline``, and
+the tidy per-stage record export.  The grid bench adds the scoring
+engine -- every suite on every evaluated preset, folded into the tiered
+ranking report -- which is exactly what ``run_all --suites`` pays.
+
+Asserted shape: the suites agree with the paper's verdict (Mondrian
+beats the CPU end-to-end and tops the composite ranking), so a perf win
+here cannot come from computing less.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import common
+from repro.suites import SUITES, SuiteRun, score_records
+
+#: One representative suite per workload family, in registry order.
+FAMILY_SUITES = {
+    "composite-key": "composite-sales",
+    "string-key": "dict-products",
+    "windowed": "windowed-clicks",
+    "skewed": "skew-hotspot",
+}
+
+
+def _run_suite(name):
+    return SuiteRun(suites=(name,), systems=("cpu", "mondrian")).run()
+
+
+def _check_cpu_vs_mondrian(rs):
+    assert len(rs) > 0
+    cpu = rs.filter(system="cpu").total("time_s")
+    mon = rs.filter(system="mondrian").total("time_s")
+    assert mon < cpu  # near-memory wins end-to-end
+
+
+def test_suite_composite_sales(benchmark):
+    rs = run_once(benchmark, _run_suite, FAMILY_SUITES["composite-key"])
+    _check_cpu_vs_mondrian(rs)
+
+
+def test_suite_dict_products(benchmark):
+    rs = run_once(benchmark, _run_suite, FAMILY_SUITES["string-key"])
+    _check_cpu_vs_mondrian(rs)
+
+
+def test_suite_windowed_clicks(benchmark):
+    rs = run_once(benchmark, _run_suite, FAMILY_SUITES["windowed"])
+    _check_cpu_vs_mondrian(rs)
+
+
+def test_suite_skew_hotspot(benchmark):
+    rs = run_once(benchmark, _run_suite, FAMILY_SUITES["skewed"])
+    _check_cpu_vs_mondrian(rs)
+
+
+def test_suite_grid_scored(benchmark):
+    """The full catalogue, scored: the ``run_all --suites`` bill."""
+
+    def grid_and_score():
+        return score_records(SuiteRun().run())
+
+    report = run_once(benchmark, grid_and_score)
+    assert set(report["suites"]) == set(SUITES)
+    assert report["ranking"][0]["system"] == "mondrian"
+
+
+def test_suite_warm_store_replay(benchmark, tmp_path):
+    """Fresh-process path: cold memory tiers against a populated store
+    must cost JSON decoding, not pipeline simulation."""
+    store = tmp_path / "store"
+    name = FAMILY_SUITES["string-key"]
+
+    def run_with_store():
+        common.configure_store(store)
+        try:
+            return _run_suite(name)
+        finally:
+            common.configure_store(None)
+
+    cold = run_with_store()  # fill the store outside the clock
+    common.clear_caches()  # memory tiers cold: only the store is warm
+    warm = run_once(benchmark, run_with_store)
+    assert warm.to_json() == cold.to_json()

@@ -19,6 +19,22 @@ layer and is **byte-identical** to it:
 - :func:`segmented_searchsorted` -- per-segment binary search via a
   composite ``(segment << key_bits) | key`` code (with a per-segment
   fallback when the composite would not fit in 64 bits).
+
+**The bit-budget rule.**  Kernels that fuse the segment axis into the
+key column do it by packing ``(segment, key)`` into one ``uint64``
+code, which is only sound when ``segment_bits + key_space_bits <= 64``
+*and* every key actually respects the declared bound
+(``key < 2**key_space_bits``).  The same rule governs callers that pack
+their own multi-column composite keys (the suite subsystem's
+``(region, store, day)``-style keys, see
+:mod:`repro.suites.families`): the *total* packed width plus the
+segment bits must fit 64, and because the sort kernels reserve
+``2**64 - 1`` as the padding sentinel, packed keys themselves must stay
+below ``2**63``.  Exceeding the budget is never an error -- the kernels
+verify both conditions at runtime and degrade to the per-segment
+reference loop, byte-identically -- but the fallback loops over
+segments in Python, so callers should keep composite keys inside the
+budget when they control the layout.
 """
 
 from __future__ import annotations
@@ -213,11 +229,29 @@ def segmented_searchsorted(
     to 0 and must be ignored).
 
     Uses a composite ``(segment << key_space_bits) | key`` code when it
-    fits 64 bits and the keys respect the bound; otherwise falls back to
-    one ``searchsorted`` per segment.
+    fits 64 bits and the keys respect the bound (the bit-budget rule,
+    see the module docstring); otherwise falls back to one
+    ``searchsorted`` per segment.  Callers packing multi-column
+    composite keys into ``sorted_keys`` must declare the *total* packed
+    width as ``key_space_bits`` -- an undersized declaration routes
+    valid inputs to the fallback (slower, never wrong), an oversized
+    one merely shrinks the segment budget.
+
+    ``query_segments`` must describe the same number of segments as
+    ``segments`` (the query rows of segment ``i`` probe the sorted rows
+    of segment ``i``); a mismatch raises ``ValueError``.
     """
     segments = np.asarray(segments, dtype=np.int64)
     query_segments = np.asarray(query_segments, dtype=np.int64)
+    if len(query_segments) != len(segments):
+        # Both execution paths must agree on the contract: the composite
+        # path would silently misalign segment ids while the per-segment
+        # loop would fail with an opaque IndexError.
+        raise ValueError(
+            f"query_segments describes {len(query_segments) - 1} segments "
+            f"but segments describes {len(segments) - 1}; the kernel "
+            "probes segment i's queries against segment i's sorted rows"
+        )
     num_segments = len(segments) - 1
     seg_lens = np.diff(segments)
     q_sids = segment_ids(query_segments)

@@ -146,6 +146,18 @@ _WORKLOADS = CacheTier("workload")
 _RESULTS = CacheTier("result")
 _CACHE_ENABLED = True
 
+#: Tiers registered by higher layers (the suite subsystem's result
+#: memo), so ``clear_caches``/``cache_stats`` stay the one switchboard
+#: without this module importing upward.
+_EXTRA_TIERS: List[CacheTier] = []
+
+
+def register_cache_tier(tier: CacheTier) -> CacheTier:
+    """Enroll a higher layer's tier in clear/stats handling (idempotent)."""
+    if tier not in _EXTRA_TIERS:
+        _EXTRA_TIERS.append(tier)
+    return tier
+
 #: (store root, result key) pairs already confirmed on disk, so the
 #: memory-hit write-through below costs one digest + stat per key per
 #: process instead of per hit.
@@ -181,6 +193,8 @@ def clear_caches() -> None:
 
     _WORKLOADS.clear()
     _RESULTS.clear()
+    for tier in _EXTRA_TIERS:
+        tier.clear()
     _PERSISTED.clear()
     _spec_machine.cache_clear()
     clear_machine_cache()
@@ -215,6 +229,8 @@ def cache_stats() -> Dict[str, Any]:
         _WORKLOADS.name: _WORKLOADS.stats(),
         _RESULTS.name: _RESULTS.stats(),
     }
+    for tier in _EXTRA_TIERS:
+        tiers[tier.name] = tier.stats()
     store = active_store()
     if store is not None:
         tiers["store"] = store.stats()

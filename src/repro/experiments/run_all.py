@@ -120,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
              "instead of the paper-artifact report",
     )
     parser.add_argument(
+        "--suites", action="store_true",
+        help="run the benchmark-suite grid (every registered suite of "
+             "repro.suites across all evaluated presets) and print the "
+             "ranked cross-suite report instead of the paper-artifact "
+             "report (honours --jobs/--no-cache/--store; "
+             "python -m repro.suites adds exports and subset grids)",
+    )
+    parser.add_argument(
         "--sweep", metavar="SPEC.json",
         help="run the scenario-API sweep grid described by SPEC.json "
              "instead of the paper report, printing its ResultSet as "
@@ -195,6 +203,19 @@ def run_pipeline_report(scale: float) -> None:
     print(pipeline_queries.run(scale=scale)["table"])
 
 
+def run_suites_report(jobs: int = 1) -> None:
+    """The benchmark-suite grid + ranked report (``--suites``)."""
+    from repro.suites import SuiteRun, render_report, score_records
+
+    grid = SuiteRun()
+    results = grid.run(jobs=jobs)
+    print(_banner(
+        f"Benchmark suites: {len(grid.suites)} suites x "
+        f"{len(grid.systems)} presets"
+    ))
+    print(render_report(score_records(results)))
+
+
 def run_sweep_report(spec_path: str, jobs: int = 1) -> None:
     """An arbitrary scenario grid (``--sweep SPEC.json``)."""
     from pathlib import Path
@@ -222,6 +243,9 @@ def main(argv=None) -> None:
         # A sweep's scales come from SPEC.json, not --fast: don't print
         # a scale the grid may not use.
         mode, scale_note = "scenario sweep", ""
+    elif args.suites:
+        # Suite grids carry their own default scale (repro.suites).
+        mode, scale_note = "benchmark-suite grid", ""
     elif args.pipelines:
         mode, scale_note = "query-pipeline suite", f" (scale {scale:.0f}x)"
     else:
@@ -230,6 +254,8 @@ def main(argv=None) -> None:
 
     if args.sweep:
         run_sweep_report(args.sweep, jobs=args.jobs)
+    elif args.suites:
+        run_suites_report(jobs=args.jobs)
     elif args.pipelines:
         run_pipeline_report(scale)
     else:

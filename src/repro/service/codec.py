@@ -102,3 +102,78 @@ def result_from_document(document: Mapping[str, Any]) -> SystemResult:
         output=None,
         metadata=metadata,
     )
+
+
+# ---------------------------------------------------------------------------
+# Suite runs: one multi-stage pipeline evaluation per document.
+# ---------------------------------------------------------------------------
+
+#: Document schema tag for persisted suite runs (``repro.suites``).
+SUITE_SCHEMA = "suite-run/v1"
+
+
+def suite_run_to_document(
+    suite: str,
+    family: str,
+    system: str,
+    stages,
+    output_digest: str,
+) -> Dict[str, Any]:
+    """Serialize one evaluated suite run (a list of per-stage results).
+
+    ``stages`` is an iterable of ``(stage, operator, output_table,
+    SystemResult)`` tuples -- the shape :mod:`repro.suites.runner`
+    carries.  Each stage's :class:`~repro.perf.result.SystemResult`
+    round-trips through :func:`result_to_document` exactly (floats
+    byte-for-byte); the functional relations are dropped as usual, with
+    the final relation summarized by its ``output_digest`` so golden
+    checks survive a store replay.  These are the suite metadata
+    columns the tidy records carry: suite, family and per-stage names
+    persist alongside the numeric payload.
+    """
+    return {
+        "schema": SUITE_SCHEMA,
+        "suite": str(suite),
+        "family": str(family),
+        "system": str(system),
+        "output_digest": str(output_digest),
+        "stages": [
+            {
+                "stage": str(stage),
+                "operator": str(operator),
+                "output_table": str(output_table),
+                "result": result_to_document(result),
+            }
+            for stage, operator, output_table, result in stages
+        ],
+    }
+
+
+def suite_run_from_document(document: Mapping[str, Any]) -> Dict[str, Any]:
+    """Rebuild a suite run's stage results from its stored document.
+
+    Returns ``{"suite", "family", "system", "output_digest", "stages"}``
+    with ``stages`` as ``(stage, operator, output_table, SystemResult)``
+    tuples (results carry the usual ``restored`` marker and
+    ``output=None``).  Raises ``ValueError`` on a schema mismatch so the
+    runner treats drifted documents as store misses.
+    """
+    if document.get("schema") != SUITE_SCHEMA:
+        raise ValueError(
+            f"unsupported stored suite-run schema {document.get('schema')!r}"
+        )
+    return {
+        "suite": document["suite"],
+        "family": document["family"],
+        "system": document["system"],
+        "output_digest": document["output_digest"],
+        "stages": [
+            (
+                entry["stage"],
+                entry["operator"],
+                entry["output_table"],
+                result_from_document(entry["result"]),
+            )
+            for entry in document["stages"]
+        ],
+    }

@@ -325,6 +325,40 @@ class TestResultSet:
     def test_concatenation(self, rs):
         assert len(rs + rs) == 2 * len(rs)
 
+    def test_pivot_non_numeric_values(self):
+        # Suite records carry string-typed label columns (suite, family,
+        # stage); pivoting them must pass labels through, not raise
+        # float-conversion errors.
+        rs = ResultSet(
+            [
+                {"suite": "a", "system": "cpu", "family": "skew", "t": 1.0},
+                {"suite": "a", "system": "cpu", "family": "skew", "t": 2.0},
+                {"suite": "a", "system": "mondrian", "family": "skew", "t": 3.0},
+            ]
+        )
+        labels = rs.pivot("suite", "system", "family")
+        assert labels == {"a": {"cpu": "skew", "mondrian": "skew"}}
+        ordered = rs.pivot("suite", "system", "family", agg="max")
+        assert ordered["a"]["cpu"] == "skew"
+        # Numeric columns still reduce as floats.
+        assert rs.pivot("suite", "system", "t")["a"]["cpu"] == pytest.approx(3.0)
+
+    def test_csv_handles_missing_and_string_columns(self):
+        # Heterogeneous records (suite rows carry columns operator rows
+        # lack, and vice versa): the header is the union, absent cells
+        # serialize as empty -- pinned so exports of mixed grids stay
+        # loadable.
+        rs = ResultSet(
+            [
+                {"system": "cpu", "suite": "skew-mild", "time_s": 1.0},
+                {"system": "cpu", "workload": "join", "time_s": 2.0},
+            ]
+        )
+        lines = rs.to_csv().strip().splitlines()
+        assert lines[0] == "system,suite,time_s,workload"
+        assert lines[1] == "cpu,skew-mild,1.0,"
+        assert lines[2] == "cpu,,2.0,join"
+
 
 class TestCli:
     def test_api_cli_exports(self, tmp_path, capsys):

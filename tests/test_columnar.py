@@ -255,6 +255,100 @@ class TestSegmentedSearchsorted:
             )
             assert np.array_equal(idx[q_lo:q_hi] - r_lo, ref), seg
 
+    @staticmethod
+    def _per_segment_reference(keys, segments, q_keys, q_segments):
+        idx = np.zeros(len(q_keys), dtype=np.int64)
+        valid = np.zeros(len(q_keys), dtype=bool)
+        for seg in range(len(segments) - 1):
+            q_lo, q_hi = q_segments[seg], q_segments[seg + 1]
+            r_lo, r_hi = segments[seg], segments[seg + 1]
+            if r_hi == r_lo or q_hi == q_lo:
+                continue
+            valid[q_lo:q_hi] = True
+            idx[q_lo:q_hi] = r_lo + np.minimum(
+                np.searchsorted(keys[r_lo:r_hi], q_keys[q_lo:q_hi]),
+                r_hi - r_lo - 1,
+            )
+        return idx, valid
+
+    @pytest.mark.parametrize("num_segments", [8, 64])
+    def test_three_column_composite_past_the_bit_budget(self, num_segments):
+        # A (28, 20, 14)-bit packed triple: 62 bits of key. With >= 8
+        # segments the composite code would need 65+ bits, so the kernel
+        # must take the per-segment fallback -- and still agree with the
+        # reference loop exactly.
+        from repro.suites.families import ColumnSpec, pack_columns
+
+        specs = (
+            ColumnSpec("hi", 28, 1 << 28),
+            ColumnSpec("mid", 20, 1 << 20),
+            ColumnSpec("lo", 14, 1 << 14),
+        )
+        bits = 62
+        rng = np.random.default_rng(11)
+
+        def packed(n):
+            return pack_columns(
+                [
+                    rng.integers(0, s.cardinality, size=n, dtype=np.uint64)
+                    for s in specs
+                ],
+                specs,
+            )
+
+        n_sorted, n_query = 400, 300
+        seg = np.sort(rng.integers(0, num_segments, size=n_sorted))
+        segments = np.searchsorted(seg, np.arange(num_segments + 1))
+        keys = packed(n_sorted)
+        for s in range(num_segments):
+            keys[segments[s]:segments[s + 1]].sort()
+        q_seg = np.sort(rng.integers(0, num_segments, size=n_query))
+        q_segments = np.searchsorted(q_seg, np.arange(num_segments + 1))
+        q_keys = packed(n_query)
+
+        seg_bits = max(1, num_segments - 1).bit_length()
+        assert bits + seg_bits > 64  # really past the budget
+        idx, valid = segmented_searchsorted(
+            keys, segments, q_keys, q_segments, bits
+        )
+        ref_idx, ref_valid = self._per_segment_reference(
+            keys, segments, q_keys, q_segments
+        )
+        assert np.array_equal(valid, ref_valid)
+        assert np.array_equal(idx[valid], ref_idx[valid])
+
+    def test_fallback_agrees_with_composite_path(self):
+        # Same 20-bit data probed twice: once under the honest
+        # declaration (composite path) and once under an inflated
+        # key_space_bits that forces the fallback. Both paths must
+        # return identical results -- the discrepancy this guards
+        # against is one path clamping differently from the other.
+        rng = np.random.default_rng(13)
+        sorted_cols = random_columns(rng, 8, 120, key_space=1 << 20)
+        keys, _ = segmented_mergesort(
+            sorted_cols.keys, sorted_cols.payloads, sorted_cols.segments
+        )
+        query = random_columns(rng, 8, 90, key_space=1 << 20)
+        composite = segmented_searchsorted(
+            keys, sorted_cols.segments, query.keys, query.segments, 20
+        )
+        fallback = segmented_searchsorted(
+            keys, sorted_cols.segments, query.keys, query.segments, 62
+        )
+        assert np.array_equal(composite[0], fallback[0])
+        assert np.array_equal(composite[1], fallback[1])
+
+    def test_segment_count_mismatch_raises(self):
+        keys = np.arange(10, dtype=np.uint64)
+        with pytest.raises(ValueError, match="probes segment i"):
+            segmented_searchsorted(
+                keys,
+                np.array([0, 5, 10]),
+                keys[:4],
+                np.array([0, 2, 3, 4]),
+                16,
+            )
+
 
 class TestSegmentedShuffle:
     @pytest.mark.parametrize("permutable", [False, True])

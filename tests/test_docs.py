@@ -55,15 +55,16 @@ def test_doc_block_executes(source, block):
 
 def test_usage_flags_match_cli_parsers():
     """Every --flag named in the docs must exist on a real parser
-    (run_all's, the scenario-API CLI's, the service CLI's -- subcommand
-    flags included -- or the benchmark tools'), and the flags the docs
-    promise must actually be documented."""
+    (run_all's, the scenario-API CLI's, the service CLI's, the suite
+    CLI's -- subcommand flags included -- or the benchmark tools'), and
+    the flags the docs promise must actually be documented."""
     import argparse
     import sys
 
     from repro.api.__main__ import build_parser as api_parser
     from repro.experiments.run_all import build_parser as run_all_parser
     from repro.service.__main__ import build_parser as service_parser
+    from repro.suites.__main__ import build_parser as suites_parser
 
     sys.path.insert(0, str(ROOT))
     try:
@@ -85,6 +86,7 @@ def test_usage_flags_match_cli_parsers():
             run_all_parser(),
             api_parser(),
             service_parser(),
+            suites_parser(),
             compare_parser(),
             profile_parser(),
         )

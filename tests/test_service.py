@@ -10,6 +10,7 @@ import subprocess
 import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.api import Scenario, Sweep, SystemSpec
@@ -247,6 +248,51 @@ class TestCodec:
         with pytest.raises(ValueError, match="schema"):
             result_from_document({"schema": "something-else"})
 
+    def test_plain_coerces_containers_and_rejects_objects(self):
+        from repro.service.codec import _plain
+
+        assert _plain({1: (2, np.int64(3))}) == {"1": [2, 3]}
+        with pytest.raises(TypeError, match="cannot store"):
+            _plain(object())
+
+
+class TestSuiteRunCodec:
+    """The multi-stage document behind ``repro.suites``' store tier."""
+
+    def _stages(self):
+        result = common.run_cached_result("cpu", "scan", 50.0, num_partitions=8)
+        return [("scan:probe", "scan", "events", result)]
+
+    def test_exact_round_trip(self):
+        from repro.service.codec import (
+            suite_run_from_document,
+            suite_run_to_document,
+        )
+
+        stages = self._stages()
+        document = suite_run_to_document(
+            "windowed-clicks", "windowed", "cpu", stages, "ab" * 32
+        )
+        run = suite_run_from_document(json.loads(json.dumps(document)))
+        assert (run["suite"], run["family"], run["system"]) == (
+            "windowed-clicks", "windowed", "cpu",
+        )
+        assert run["output_digest"] == "ab" * 32
+        (name, operator, table, restored), (_, _, _, original) = (
+            run["stages"][0], stages[0],
+        )
+        assert (name, operator, table) == ("scan:probe", "scan", "events")
+        assert restored.runtime_s == original.runtime_s  # exact, not approx
+        assert restored.energy == original.energy
+        assert restored.output is None
+        assert restored.metadata["restored"] is True
+
+    def test_schema_mismatch_rejected(self):
+        from repro.service.codec import suite_run_from_document
+
+        with pytest.raises(ValueError, match="suite-run schema"):
+            suite_run_from_document({"schema": "suite-run/v0"})
+
 
 # ---------------------------------------------------------------------------
 # The store tier under run_cached_result
@@ -288,7 +334,9 @@ class TestStoreTier:
         common.run_cached_result("cpu", "scan", 50.0, num_partitions=8)
         common.run_cached_result("cpu", "scan", 50.0, num_partitions=8)
         stats = common.cache_stats()
-        assert set(stats["tiers"]) == {"workload", "result", "store"}
+        # Subset, not equality: subsystems may register extra tiers
+        # (e.g. the suite runner's "suite-result" tier on import).
+        assert {"workload", "result", "store"} <= set(stats["tiers"])
         assert stats["tiers"]["result"] == {
             "hits": 1, "misses": 1, "evictions": 0, "entries": 1,
         }

@@ -15,8 +15,10 @@ Gates::
 
     python tools/coverage_gate.py faults            # src/repro/faults/
     python tools/coverage_gate.py service --min 90  # src/repro/service/
+    python tools/coverage_gate.py suites --min 90   # src/repro/suites/
 
-``make coverage`` and ``make coverage-service`` wrap these.
+``make coverage``, ``make coverage-service`` and ``make
+coverage-suites`` wrap these.
 """
 
 from __future__ import annotations
@@ -48,6 +50,13 @@ GATES = {
             "tests/test_service.py",
             "tests/test_resilience.py",
             "tests/test_service_errors.py",
+        ),
+    },
+    "suites": {
+        "target": ROOT / "src" / "repro" / "suites",
+        "tests": (
+            "tests/test_suites.py",
+            "tests/test_suites_determinism.py",
         ),
     },
 }
