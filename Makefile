@@ -4,8 +4,12 @@
 PY ?= python
 export PYTHONPATH := src
 
-#: Current perf-trajectory point; bump per perf PR (BENCH_PR9.json, ...).
-BENCH_JSON ?= BENCH_PR8.json
+#: Current perf-trajectory point; bump per perf PR (BENCH_PR10.json, ...).
+BENCH_JSON ?= BENCH_PR9.json
+
+#: Full per-file bench sweeps min-merged by `make bench` (see
+#: tools/bench_runner.py; more sweeps = more jitter robustness).
+BENCH_REPEAT ?= 2
 
 #: Experiment profiled by `make profile` (fig6, fig7, ..., table5, skew).
 EXPERIMENT ?= fig6
@@ -25,20 +29,25 @@ SERVICE_MIN_COVERAGE ?= 90
 #: the benchmark-suite package.
 SUITES_MIN_COVERAGE ?= 90
 
+#: Minimum line coverage (percent) `make coverage-telemetry` demands of
+#: the telemetry package (spans, metrics, codec).
+TELEMETRY_MIN_COVERAGE ?= 90
+
 #: Deterministic wire-fault schedule seeds replayed by `make chaos-test`.
 CHAOS_SEEDS ?= --seed 7 --seed 17
 
-.PHONY: test test-faults coverage coverage-service coverage-suites chaos-test docs-check report pipelines sweep-smoke service-smoke suites-smoke bench bench-compare profile
+.PHONY: test test-faults coverage coverage-service coverage-suites coverage-telemetry chaos-test docs-check report report-html report-smoke pipelines sweep-smoke service-smoke suites-smoke bench bench-compare profile
 
 ## Tier-1 verification: full unit/integration/experiment + benchmark
-## suite, then the fault-injection suite, the sweep-smoke, service-smoke
-## and suites-smoke golden checks, and the chaos harness.
+## suite, then the fault-injection suite, the sweep-smoke, service-smoke,
+## suites-smoke and report-smoke checks, and the chaos harness.
 test:
 	$(PY) -m pytest -x -q
 	$(MAKE) test-faults
 	$(MAKE) sweep-smoke
 	$(MAKE) service-smoke
 	$(MAKE) suites-smoke
+	$(MAKE) report-smoke
 	$(MAKE) chaos-test
 
 ## Fault-injection suite: property harness (output byte-identity under
@@ -64,6 +73,12 @@ coverage-service:
 ## fail if any src/repro/suites/ file is below SUITES_MIN_COVERAGE%.
 coverage-suites:
 	$(PY) tools/coverage_gate.py suites --min $(SUITES_MIN_COVERAGE)
+
+## Telemetry coverage gate: run the telemetry + report suites under the
+## stdlib tracer; fail if any src/repro/telemetry/ file is below
+## TELEMETRY_MIN_COVERAGE%.
+coverage-telemetry:
+	$(PY) tools/coverage_gate.py telemetry --min $(TELEMETRY_MIN_COVERAGE)
 
 ## Chaos harness: replay the sweep-smoke grid through a real daemon
 ## under worker SIGKILLs, torn store writes, seeded wire faults and
@@ -114,13 +129,27 @@ docs-check:
 report:
 	$(PY) -m repro.experiments.run_all
 
+## Self-contained HTML report (figures, bottlenecks, suites, bench
+## trajectory) written to report.html.
+report-html:
+	$(PY) -m repro.report --out report.html
+
+## Report smoke check: render every report section from committed
+## goldens + the fast model scale and audit the HTML's structure,
+## self-containment and determinism.
+report-smoke:
+	$(PY) tools/report_smoke.py
+
 ## Query-pipeline suite (per-stage breakdowns, CPU vs NMP vs Mondrian).
 pipelines:
 	$(PY) -m repro.experiments.run_all --pipelines
 
-## Perf trajectory: run the benchmark suite and write $(BENCH_JSON).
+## Perf trajectory: run every benchmarks/test_bench_*.py file in its
+## own pytest process (fresh interpreter per file, so heavy files can't
+## heat-bias whatever sorts after them) and min-merge BENCH_REPEAT
+## sweeps into $(BENCH_JSON).
 bench:
-	$(PY) -m pytest -q benchmarks --benchmark-json $(BENCH_JSON)
+	$(PY) tools/bench_runner.py $(BENCH_JSON) --repeat $(BENCH_REPEAT)
 
 ## Diff the two newest committed BENCH_*.json trajectory points
 ## (or: make bench-compare ARGS="NEW.json OLD.json"), failing if any

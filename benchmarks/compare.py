@@ -144,7 +144,58 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-regression", type=float, default=None, metavar="PCT",
                         help="fail (exit 1) if any shared benchmark "
                              "regressed more than PCT percent vs OLD")
+    parser.add_argument("--json", metavar="OUT", dest="json_out",
+                        help="also write the comparison as a canonical JSON "
+                             "document to OUT ('-' for stdout): per-benchmark "
+                             "old/new/speedup, new/removed lists, geomean, "
+                             "and the regression verdict")
     return parser
+
+
+def comparison_document(
+    new_path: Path, old_path: Path, new: dict, old: dict,
+    max_regression_pct=None,
+) -> dict:
+    """The machine-readable comparison (the ``--json`` artifact).
+
+    Mirrors what :func:`compare` prints: shared benchmarks with their
+    representative times and speedups, one-sided benchmarks, the geomean
+    over measurable shared benches, and -- when a threshold is given --
+    the per-benchmark regressions that would fail the gate.
+    """
+    shared = sorted(set(new) & set(old))
+    measurable = [n for n in shared if new[n] > 0 and old[n] > 0]
+    geomean = None
+    if measurable:
+        geomean = 1.0
+        for name in measurable:
+            geomean *= old[name] / new[name]
+        geomean **= 1.0 / len(measurable)
+    document = {
+        "schema": "bench-compare/v1",
+        "new_file": new_path.name,
+        "old_file": old_path.name,
+        "shared": {
+            name: {
+                "old_s": old[name],
+                "new_s": new[name],
+                "speedup": (old[name] / new[name]) if new[name] else None,
+            }
+            for name in shared
+        },
+        "only_new": sorted(set(new) - set(old)),
+        "only_old": sorted(set(old) - set(new)),
+        "geomean_speedup": geomean,
+    }
+    if max_regression_pct is not None:
+        regressions = find_regressions(new, old, max_regression_pct)
+        document["max_regression_pct"] = max_regression_pct
+        document["regressions"] = [
+            {"name": name, "old_s": old_s, "new_s": new_s, "pct": pct}
+            for name, old_s, new_s, pct in regressions
+        ]
+        document["gate_ok"] = not regressions
+    return document
 
 
 def main(argv=None) -> None:
@@ -162,6 +213,17 @@ def main(argv=None) -> None:
             raise SystemExit(f"no such benchmark file: {path}")
     new, old = load_means(new_path), load_means(old_path)
     print(compare(new_path, old_path, new=new, old=old))
+    if args.json_out:
+        document = comparison_document(
+            new_path, old_path, new, old,
+            max_regression_pct=args.max_regression,
+        )
+        text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        if args.json_out == "-":
+            print(text)
+        else:
+            Path(args.json_out).write_text(text + "\n")
+            print(f"wrote comparison JSON to {args.json_out}", file=sys.stderr)
     if args.max_regression is not None:
         regressions = find_regressions(new, old, args.max_regression)
         if regressions:

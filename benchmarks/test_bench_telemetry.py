@@ -1,0 +1,83 @@
+"""Bench: telemetry overhead -- disabled tracing must be (nearly) free.
+
+Two trajectory points:
+
+- ``test_fig6_with_tracer_installed`` times the figure-6 experiment
+  with a live tracer collecting every span, so the trajectory tracks
+  the *enabled* cost of instrumentation over time.
+- ``test_disabled_overhead_budget`` directly enforces the design
+  budget: with no tracer installed, the instrumented figure-6 pipeline
+  must cost within 2% of the same pipeline timed around the
+  instrumentation sites' no-op guard.  The guard is one module-global
+  read per site, so a regression here means someone put real work
+  outside the ``tracer is None`` check.
+"""
+
+import time
+
+from benchmarks.conftest import BENCH_SCALE, ROUNDS, run_once
+from repro.experiments import common, fig6_probe
+from repro.telemetry import install_tracer, uninstall_tracer
+
+#: Max tolerated slowdown of the disabled-telemetry pipeline vs itself
+#: (paired cold rounds), from the ISSUE's instrumentation budget.
+DISABLED_OVERHEAD_BUDGET = 0.02
+
+
+def test_fig6_with_tracer_installed(benchmark):
+    def traced_run():
+        tracer = install_tracer()
+        try:
+            return fig6_probe.run(scale=BENCH_SCALE), len(tracer.spans)
+        finally:
+            uninstall_tracer()
+
+    out, span_count = run_once(benchmark, traced_run)
+    assert span_count > 0
+    assert out["speedups"]["scan"]["mondrian"] > 1.0
+
+
+def test_disabled_overhead_budget():
+    """The no-op guard's total cost must stay under 2% of fig6's runtime.
+
+    Three measurements: (1) the cold figure-6 runtime with telemetry
+    disabled; (2) how many instrumentation sites that pipeline actually
+    crosses (count spans from one traced run); (3) the per-crossing
+    cost of the disabled guard, micro-benchmarked directly.  The
+    enforced budget is ``crossings x guard_cost < 2% x runtime`` -- if
+    anyone moves real work outside the ``tracer is None`` check, the
+    guard cost explodes and this fails long before users feel it.
+    """
+    from repro.telemetry import span
+
+    def cold_runtime_ns() -> int:
+        common.clear_caches()
+        start = time.perf_counter_ns()
+        fig6_probe.run(scale=BENCH_SCALE)
+        return time.perf_counter_ns() - start
+
+    cold_runtime_ns()  # warm imports/allocator before timing
+    runtime_ns = min(cold_runtime_ns() for _ in range(ROUNDS))
+
+    tracer = install_tracer()
+    try:
+        common.clear_caches()
+        fig6_probe.run(scale=BENCH_SCALE)
+        crossings = len(tracer.spans)
+    finally:
+        uninstall_tracer()
+    assert crossings > 0
+
+    calls = 200_000
+    start = time.perf_counter_ns()
+    for _ in range(calls):
+        with span("budget", category="bench"):
+            pass
+    guard_ns = (time.perf_counter_ns() - start) / calls
+
+    overhead = crossings * guard_ns / runtime_ns
+    assert overhead < DISABLED_OVERHEAD_BUDGET, (
+        f"{crossings} disabled span sites x {guard_ns:.0f} ns "
+        f"= {overhead:.2%} of the {runtime_ns / 1e6:.0f} ms fig6 run "
+        f"(budget {DISABLED_OVERHEAD_BUDGET:.0%})"
+    )

@@ -37,6 +37,7 @@ from repro.api.spec import as_spec
 from repro.api.sweep import Sweep
 from repro.experiments import common
 from repro.faults.plan import FaultSpec
+from repro.telemetry import trace as _trace
 
 #: Columns of the human-readable summary table (full records keep more).
 SUMMARY_COLUMNS = (
@@ -115,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--csv", metavar="PATH",
         help="write the ResultSet as CSV to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record telemetry spans for the sweep and write them to "
+             "FILE as Chrome trace_event JSON (chrome://tracing / "
+             "Perfetto); exports are byte-identical with or without "
+             "tracing",
     )
     return parser
 
@@ -215,7 +223,14 @@ def main(argv=None) -> None:
     sweep = _build_sweep(args)
     if args.faults:
         sweep = _with_faults(sweep, args.faults)
-    results = sweep.run(jobs=args.jobs)
+    tracer = _trace.install_tracer() if args.trace else None
+    try:
+        results = sweep.run(jobs=args.jobs)
+    finally:
+        if tracer is not None:
+            _trace.uninstall_tracer()
+            events = tracer.export_chrome(args.trace)
+            print(f"trace: {events} events -> {args.trace}", file=sys.stderr)
     store_stats = common.store_stats()
     if store_stats is not None:
         print(

@@ -32,6 +32,8 @@ from repro.api.results import ResultSet
 from repro.api.scenario import Scenario
 from repro.api.spec import SystemSpec
 from repro.experiments import common
+from repro.telemetry import trace as _trace
+from repro.telemetry import span as _span
 
 
 def _spec_from_entry(entry: Union[str, SystemSpec, Mapping[str, Any]]):
@@ -102,22 +104,34 @@ class Sweep:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         scenarios = self.scenarios()
-        if jobs == 1 or len(scenarios) <= 1:
-            records: List[Dict[str, Any]] = []
-            for scenario in scenarios:
-                records.extend(scenario.records())
+        with _span(
+            "sweep", category="api", points=len(scenarios), jobs=jobs
+        ):
+            if jobs == 1 or len(scenarios) <= 1:
+                records: List[Dict[str, Any]] = []
+                for scenario in scenarios:
+                    records.extend(scenario.records())
+                return ResultSet(records)
+            tracer = _trace.active_tracer()
+            payloads = [
+                (s, common.cache_enabled(), common.store_path(),
+                 tracer is not None)
+                for s in scenarios
+            ]
+            store = common.active_store()
+            records = []
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for chunk, store_delta, spans in pool.map(
+                    _sweep_worker, payloads
+                ):
+                    records.extend(chunk)
+                    if store is not None and store_delta:
+                        store.merge_stats(store_delta)
+                    if tracer is not None and spans:
+                        tracer.adopt(
+                            spans, parent_id=tracer.current_span_id()
+                        )
             return ResultSet(records)
-        payloads = [
-            (s, common.cache_enabled(), common.store_path()) for s in scenarios
-        ]
-        store = common.active_store()
-        records = []
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for chunk, store_delta in pool.map(_sweep_worker, payloads):
-                records.extend(chunk)
-                if store is not None and store_delta:
-                    store.merge_stats(store_delta)
-        return ResultSet(records)
 
     # -- serialization ------------------------------------------------------
 
@@ -156,9 +170,13 @@ class Sweep:
         return cls.from_dict(data)
 
 
-def _sweep_worker(payload) -> Tuple[List[Dict[str, Any]], Optional[Dict[str, int]]]:
-    """Process-pool entry point: (scenario, use_cache, store) ->
-    (records, store-counter delta).
+def _sweep_worker(
+    payload,
+) -> Tuple[
+    List[Dict[str, Any]], Optional[Dict[str, int]], Optional[List[Dict[str, Any]]]
+]:
+    """Process-pool entry point: (scenario, use_cache, store[, trace]) ->
+    (records, store-counter delta, worker spans).
 
     Workers inherit the parent's persistent-store selection explicitly
     (an env-var default would survive ``fork`` anyway, but a ``--store``
@@ -167,15 +185,33 @@ def _sweep_worker(payload) -> Tuple[List[Dict[str, Any]], Optional[Dict[str, int
     store traffic it caused as a counter delta; the parent folds those
     into its own handle, keeping ``--jobs N`` runs' reported store stats
     truthful even though the I/O happened in workers.
+
+    When the parent is tracing (``trace`` element true), the worker runs
+    its own :class:`~repro.telemetry.trace.Tracer` and ships the
+    finished spans back as plain dicts; the parent re-parents them under
+    its sweep span via ``Tracer.adopt``.
     """
-    scenario, use_cache, store = payload
+    scenario, use_cache, store = payload[:3]
+    trace_on = bool(payload[3]) if len(payload) > 3 else False
     common.set_cache_enabled(use_cache)
     if store != common.store_path():
         common.configure_store(store)
     handle = common.active_store()
     before = handle.counters() if handle is not None else None
-    records = scenario.records()
+    spans = None
+    if trace_on:
+        with _trace.tracing() as tracer:
+            with tracer.span(
+                "pool_worker",
+                category="service",
+                system=scenario.system_label,
+                operator=scenario.operator,
+            ):
+                records = scenario.records()
+            spans = tracer.to_dicts()
+    else:
+        records = scenario.records()
     if handle is None:
-        return records, None
+        return records, None, spans
     after = handle.counters()
-    return records, {k: after[k] - before[k] for k in before}
+    return records, {k: after[k] - before[k] for k in before}, spans

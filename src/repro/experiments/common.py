@@ -66,6 +66,7 @@ from repro.analytics.workload import (
 from repro.config.system import EVALUATED_PRESETS
 from repro.perf.result import SystemResult
 from repro.systems import build_system
+from repro.telemetry import trace as _trace
 
 #: Functional dataset sizes (tuples actually moved in Python).
 FUNCTIONAL_N = {
@@ -485,6 +486,31 @@ def run_cached_result(
     ``output=None`` (the functional payload is not persisted; see
     :mod:`repro.service.codec`).
     """
+    tracer = _trace.active_tracer()
+    if tracer is not None:
+        with tracer.span(
+            "task",
+            category="service",
+            operator=operator,
+            system=_system_token(system),
+            scale=float(scale),
+        ):
+            return _run_cached_result(
+                system, operator, scale, seed, num_partitions, workload
+            )
+    return _run_cached_result(
+        system, operator, scale, seed, num_partitions, workload
+    )
+
+
+def _run_cached_result(
+    system: Any,
+    operator: str,
+    scale: float,
+    seed: int,
+    num_partitions: int,
+    workload: Any,
+) -> SystemResult:
     key = (
         "result",
         _system_token(system),

@@ -27,6 +27,7 @@ grids).  See ``docs/USAGE.md`` for the full flag reference.
 from __future__ import annotations
 
 import argparse
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 
@@ -47,6 +48,8 @@ from repro.experiments import (
 )
 from repro.experiments import common
 from repro.experiments.common import MODEL_SCALE
+from repro.telemetry import span as _span
+from repro.telemetry import trace as _trace
 
 #: Model scale used by ``--fast`` (full runs use ``MODEL_SCALE``).
 FAST_SCALE = 500.0
@@ -140,6 +143,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(second cache tier below the in-memory memoization; "
              "default: $REPRO_STORE if set)",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record telemetry spans (pipeline stages, shuffle rounds, "
+             "scheduler batches, worker tasks) and write them to FILE "
+             "as Chrome trace_event JSON -- load it in chrome://tracing "
+             "or https://ui.perfetto.dev (stdout is unaffected)",
+    )
     return parser
 
 
@@ -170,31 +180,43 @@ def render_section(key: str, scale: float) -> str:
     )
 
 
-def _render_worker(payload) -> str:
-    """Process-pool entry point: (key, scale, use_cache, store) -> text."""
-    key, scale, use_cache, store = payload
+def _render_worker(payload):
+    """Process-pool entry point: (key, scale, use_cache, store[, trace])
+    -> (text, worker spans or None)."""
+    key, scale, use_cache, store = payload[:4]
+    trace_on = bool(payload[4]) if len(payload) > 4 else False
     common.set_cache_enabled(use_cache)
     if store != common.store_path():
         common.configure_store(store)
-    return render_section(key, scale)
+    if trace_on:
+        with _trace.tracing() as tracer:
+            with tracer.span("section", category="experiments", section=key):
+                text = render_section(key, scale)
+            return text, tracer.to_dicts()
+    return render_section(key, scale), None
 
 
 def run_paper_report(scale: float, jobs: int = 1) -> None:
     """The paper-artifact report (default mode)."""
     keys = [key for key, _, _, _ in SECTIONS]
+    tracer = _trace.active_tracer()
     if jobs > 1:
         payloads = [
-            (key, scale, common.cache_enabled(), common.store_path())
+            (key, scale, common.cache_enabled(), common.store_path(),
+             tracer is not None)
             for key in keys
         ]
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for text in pool.map(_render_worker, payloads):
+            for text, spans in pool.map(_render_worker, payloads):
                 print(text)
+                if tracer is not None and spans:
+                    tracer.adopt(spans, parent_id=tracer.current_span_id())
     else:
         # Print as each section completes: the report streams, and a
         # mid-report failure still leaves the finished sections visible.
         for key in keys:
-            print(render_section(key, scale))
+            with _span("section", category="experiments", section=key):
+                print(render_section(key, scale))
 
 
 def run_pipeline_report(scale: float) -> None:
@@ -252,14 +274,21 @@ def main(argv=None) -> None:
         mode, scale_note = "full report", f" (scale {scale:.0f}x)"
     print(f"Mondrian Data Engine reproduction -- {mode}{scale_note}")
 
-    if args.sweep:
-        run_sweep_report(args.sweep, jobs=args.jobs)
-    elif args.suites:
-        run_suites_report(jobs=args.jobs)
-    elif args.pipelines:
-        run_pipeline_report(scale)
-    else:
-        run_paper_report(scale, jobs=args.jobs)
+    tracer = _trace.install_tracer() if args.trace else None
+    try:
+        if args.sweep:
+            run_sweep_report(args.sweep, jobs=args.jobs)
+        elif args.suites:
+            run_suites_report(jobs=args.jobs)
+        elif args.pipelines:
+            run_pipeline_report(scale)
+        else:
+            run_paper_report(scale, jobs=args.jobs)
+    finally:
+        if tracer is not None:
+            _trace.uninstall_tracer()
+            events = tracer.export_chrome(args.trace)
+            print(f"trace: {events} events -> {args.trace}", file=sys.stderr)
 
     print(f"\nDone in {time.time() - start:.1f}s.")
 

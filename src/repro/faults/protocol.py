@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.faults.plan import FaultPlan
 from repro.memctrl.permutable import ShuffleBarrier
+from repro.telemetry import registry as _registry
+from repro.telemetry import span as _span
 
 
 @dataclass
@@ -217,6 +219,14 @@ class DeliverySession:
         spec = self._plan.spec
         sizes = self._sizes[:, dest]
         self.stats.degraded_destinations += 1
+        before = self.stats.retries
+        with _span("fault_replay", category="faults", dest=int(dest)) as sp:
+            self._replay_streams_inner(barrier, dest, deliver, spec, sizes)
+            sp.set(retries=self.stats.retries - before)
+
+    def _replay_streams_inner(
+        self, barrier, dest, deliver, spec, sizes
+    ) -> None:
         for src in np.flatnonzero(sizes):
             size_b = int(sizes[src])
             drops = int(min(self._plan.drop_rounds[src, dest], spec.max_retries))
@@ -249,6 +259,12 @@ class DeliverySession:
         """
         spec = self._plan.spec
         dest_totals = self._sizes.sum(axis=0)
+        with _span("fault_finalize", category="faults"):
+            self._finalize_inner(barrier, spec, dest_totals)
+        self._publish_metrics()
+        return self.stats
+
+    def _finalize_inner(self, barrier, spec, dest_totals) -> None:
         for dest in np.flatnonzero(self._plan.timeout_rounds):
             if dest_totals[dest] <= 0:
                 continue
@@ -267,4 +283,19 @@ class DeliverySession:
         self.stats.stragglers += int(np.count_nonzero(straggling))
         if extra.size:
             self.stats.straggler_stall_b += float(extra.max())
-        return self.stats
+
+    def _publish_metrics(self) -> None:
+        """Mirror this session's totals into the telemetry registry."""
+        reg = _registry()
+        reg.counter("faults.sessions").inc()
+        reg.counter("faults.retries").inc(self.stats.retries)
+        reg.counter("faults.backoff_stalls").inc(self.stats.backoff_stalls)
+        reg.counter("faults.duplicates_discarded").inc(
+            self.stats.duplicates_discarded
+        )
+        reg.counter("faults.timeout_rounds").inc(self.stats.timeout_rounds)
+        reg.counter("faults.stragglers").inc(self.stats.stragglers)
+        reg.counter("faults.degraded_destinations").inc(
+            self.stats.degraded_destinations
+        )
+        reg.histogram("faults.overhead_b").observe(self.stats.overhead_b)

@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence
 from repro.analytics.tuples import Relation
 from repro.operators.base import OperatorVariant, PhaseCost
 from repro.pipeline.stage import PipelineStage, PlanContext, StagePlan
+from repro.telemetry import span as _span
 
 
 @dataclass
@@ -80,10 +81,17 @@ class QueryPlan:
         )
         env: Dict[str, Relation] = dict(self.tables)
         stage_plans: List[StagePlan] = []
-        for stage in self.stages:
-            plan = stage.plan(env, ctx)
-            env[plan.output_table] = plan.relation
-            stage_plans.append(plan)
+        with _span(
+            "plan", category="pipeline", plan=self.name, variant=variant.label
+        ):
+            for stage in self.stages:
+                with _span(
+                    "stage", category="pipeline", stage=stage.name
+                ) as sp:
+                    plan = stage.plan(env, ctx)
+                    sp.set(output_rows=len(plan.relation))
+                env[plan.output_table] = plan.relation
+                stage_plans.append(plan)
         return PipelineRun(
             plan=self.name,
             variant=variant.label,

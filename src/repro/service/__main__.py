@@ -126,13 +126,24 @@ def build_parser() -> argparse.ArgumentParser:
              "exits with the transport error",
     )
 
-    for name, help_text in (
-        ("stats", "print a running daemon's request/scheduler/store stats"),
-        ("ping", "check a daemon is alive and which store it serves"),
-    ):
-        sub = commands.add_parser(name, help=help_text)
-        _add_endpoint_args(sub)
-        _add_resilience_args(sub)
+    stats_p = commands.add_parser(
+        "stats",
+        help="print a running daemon's request/scheduler/store/metrics stats",
+    )
+    _add_endpoint_args(stats_p)
+    _add_resilience_args(stats_p)
+    stats_p.add_argument(
+        "--json", action="store_true",
+        help="emit the stats as one canonical telemetry/v1 JSON line "
+             "(sorted keys, no whitespace -- byte-stable for machine "
+             "consumers) instead of the indented human form",
+    )
+
+    ping_p = commands.add_parser(
+        "ping", help="check a daemon is alive and which store it serves"
+    )
+    _add_endpoint_args(ping_p)
+    _add_resilience_args(ping_p)
 
     recover_p = commands.add_parser(
         "recover",
@@ -178,7 +189,13 @@ def _cmd_submit(args) -> None:
 
 def _cmd_stats(args) -> None:
     with _client(args) as client:
-        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        stats = client.stats()
+    if getattr(args, "json", False):
+        from repro.telemetry import encode_snapshot
+
+        print(encode_snapshot(stats))
+    else:
+        print(json.dumps(stats, indent=2, sort_keys=True))
 
 
 def _cmd_ping(args) -> None:

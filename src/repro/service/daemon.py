@@ -140,11 +140,14 @@ class EvaluationDaemon:
         return {"records": self.scheduler.submit_sweep(grid).to_records()}
 
     def _verb_stats(self, request: Any) -> Dict[str, Any]:
+        from repro.telemetry import registry
+
         return {
             "requests": dict(self.requests),
             "scheduler": self.scheduler.stats(),
             "cache": common.cache_stats(),
             "store": self.scheduler.store_stats(),
+            "metrics": registry().snapshot(),
         }
 
     def _verb_shutdown(self, request: Any) -> Dict[str, Any]:

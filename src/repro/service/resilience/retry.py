@@ -104,6 +104,8 @@ class CircuitBreaker:
         return False
 
     def record_success(self) -> None:
+        if self._opened_at is not None:
+            self._flip("closed")
         self._failures = 0
         self._opened_at = None
         self._probing = False
@@ -111,5 +113,18 @@ class CircuitBreaker:
     def record_failure(self) -> None:
         self._failures += 1
         if self._probing or self._failures >= self.failure_threshold:
+            if self._opened_at is None or self._probing:
+                self._flip("opened")
             self._opened_at = self._clock()
             self._probing = False
+
+    @staticmethod
+    def _flip(transition: str) -> None:
+        """Count a state flip in the telemetry registry.
+
+        Imported lazily so the breaker stays usable in contexts that
+        never touch telemetry (and import cycles stay impossible).
+        """
+        from repro.telemetry import registry
+
+        registry().counter(f"service.breaker.{transition}").inc()

@@ -42,6 +42,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.service.resilience.retry import CircuitBreaker, RetryPolicy
+from repro.telemetry import span as _span
+from repro.telemetry import trace as _trace
 
 
 class WorkerTaskError(RuntimeError):
@@ -127,23 +129,28 @@ class _Task:
     """One scenario on its way through the fleet."""
 
     def __init__(self, index: int, task_id: str, scenario: Dict[str, Any],
-                 store: Optional[str], cache: bool, batch: "_Batch") -> None:
+                 store: Optional[str], cache: bool, batch: "_Batch",
+                 trace: bool = False) -> None:
         self.index = index
         self.id = task_id
         self.scenario = scenario
         self.store = store
         self.cache = cache
         self.batch = batch
+        self.trace = trace
         self.attempts = 0
 
     def request(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "verb": "evaluate",
             "id": self.id,
             "scenario": self.scenario,
             "store": self.store,
             "cache": self.cache,
         }
+        if self.trace:
+            payload["trace"] = True
+        return payload
 
 
 class _Batch:
@@ -156,6 +163,7 @@ class _Batch:
         self.deltas: List[Dict[str, int]] = []
         self.errors: List[str] = []
         self.local: List[int] = []  # indices degraded to in-process runs
+        self.spans: Dict[int, List[Dict[str, Any]]] = {}  # worker trace spans
 
     def _done_one(self) -> None:
         with self._cond:
@@ -163,10 +171,12 @@ class _Batch:
             if self._remaining <= 0:
                 self._cond.notify_all()
 
-    def complete(self, index: int, records, delta) -> None:
+    def complete(self, index: int, records, delta, spans=None) -> None:
         self.records[index] = records
         if delta:
             self.deltas.append(delta)
+        if spans:
+            self.spans[index] = spans
         self._done_one()
 
     def error(self, index: int, message: str) -> None:
@@ -314,7 +324,10 @@ class WorkerFleet:
                 with self._lock:
                     self._stats["completed"] += 1
                 task.batch.complete(
-                    task.index, response.get("records"), response.get("store_delta")
+                    task.index,
+                    response.get("records"),
+                    response.get("store_delta"),
+                    response.get("spans"),
                 )
             else:
                 # The worker is healthy; the *task* is bad.  Replaying a
@@ -379,23 +392,38 @@ class WorkerFleet:
         if self._closed.is_set():
             raise RuntimeError("fleet is closed")
         scenarios = list(scenarios)
+        tracer = _trace.active_tracer()
         batch = _Batch(len(scenarios))
-        for index, scenario in enumerate(scenarios):
-            batch_task = _Task(
-                index,
-                self._task_id(scenario, index),
-                scenario.to_dict(),
-                store,
-                cache,
-                batch,
-            )
-            self._queue.put(batch_task)
-        if not batch.wait(timeout):
-            raise TimeoutError(f"fleet batch did not complete within {timeout}s")
-        if batch.errors:
-            raise WorkerTaskError(batch.errors[0])
-        for index in sorted(batch.local):
-            batch.records[index] = scenarios[index].records()
+        with _span(
+            "fleet_batch", category="service", tasks=len(scenarios)
+        ) as batch_sp:
+            for index, scenario in enumerate(scenarios):
+                batch_task = _Task(
+                    index,
+                    self._task_id(scenario, index),
+                    scenario.to_dict(),
+                    store,
+                    cache,
+                    batch,
+                    trace=tracer is not None,
+                )
+                self._queue.put(batch_task)
+            if not batch.wait(timeout):
+                raise TimeoutError(
+                    f"fleet batch did not complete within {timeout}s"
+                )
+            if batch.errors:
+                raise WorkerTaskError(batch.errors[0])
+            for index in sorted(batch.local):
+                batch.records[index] = scenarios[index].records()
+            batch_sp.set(degraded=len(batch.local))
+            if tracer is not None:
+                # Re-parent the worker-subprocess spans (shipped back on
+                # the JSON-lines side channel) under this batch span, in
+                # task order so ids stay deterministic.
+                parent = tracer.current_span_id()
+                for index in sorted(batch.spans):
+                    tracer.adopt(batch.spans[index], parent_id=parent)
         delta: Dict[str, int] = {}
         for partial in batch.deltas:
             for key, value in partial.items():

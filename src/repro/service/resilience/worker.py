@@ -80,9 +80,16 @@ def _self_destruct() -> None:
 
 
 def _evaluate(task: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one scenario with the task's store/cache selection installed."""
+    """Run one scenario with the task's store/cache selection installed.
+
+    A task carrying ``"trace": true`` additionally runs under a fresh
+    worker-local tracer and ships the finished spans back in the
+    response (the supervisor re-parents them under the batch span) --
+    the JSON-lines side channel the telemetry layer documents.
+    """
     from repro.api.scenario import Scenario
     from repro.experiments import common
+    from repro.telemetry import trace as _trace
 
     common.set_cache_enabled(bool(task.get("cache", True)))
     store_dir = task.get("store")
@@ -90,12 +97,24 @@ def _evaluate(task: Dict[str, Any]) -> Dict[str, Any]:
         common.configure_store(store_dir)
     handle = common.active_store()
     before = handle.counters() if handle is not None else None
-    records = Scenario.from_dict(task["scenario"]).records()
+    spans = None
+    if task.get("trace"):
+        with _trace.tracing() as tracer:
+            with tracer.span(
+                "fleet_worker", category="service", pid=os.getpid()
+            ):
+                records = Scenario.from_dict(task["scenario"]).records()
+            spans = tracer.to_dicts()
+    else:
+        records = Scenario.from_dict(task["scenario"]).records()
     delta = None
     if handle is not None:
         after = handle.counters()
         delta = {k: after[k] - before[k] for k in before}
-    return {"records": records, "store_delta": delta}
+    response = {"records": records, "store_delta": delta}
+    if spans is not None:
+        response["spans"] = spans
+    return response
 
 
 def run(

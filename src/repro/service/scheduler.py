@@ -40,6 +40,9 @@ from repro.api.results import ResultSet
 from repro.api.scenario import Scenario
 from repro.api.sweep import Sweep, _sweep_worker
 from repro.experiments import common
+from repro.telemetry import registry as _registry
+from repro.telemetry import span as _span
+from repro.telemetry import trace as _trace
 
 
 class BatchScheduler:
@@ -153,14 +156,21 @@ class BatchScheduler:
         for scenario in scenarios:
             unique.setdefault(scenario)
 
-        with self._activated() as store:
+        tracer = _trace.active_tracer()
+        with _span(
+            "batch",
+            category="service",
+            submitted=len(scenarios),
+            unique=len(unique),
+        ) as batch_sp, self._activated() as store:
             hits = [s for s in unique if self._in_store(store, s)]
             misses = [s for s in unique if s not in set(hits)]
+            batch_sp.set(store_hits=len(hits), executed=len(misses))
 
             records: Dict[Scenario, List[Dict[str, Any]]] = {}
             # Store hits replay in-process: run_cached_result's store
-            # tier restores the evaluated result without simulating
-            # anything.
+            # tier restores the evaluated result with zero simulation
+            # executions.
             for scenario in hits:
                 records[scenario] = scenario.records()
             degraded = 0
@@ -176,16 +186,21 @@ class BatchScheduler:
                     store.merge_stats(store_delta)
             elif len(misses) > 1 and self.jobs > 1:
                 payloads = [
-                    (s, common.cache_enabled(), common.store_path())
+                    (s, common.cache_enabled(), common.store_path(),
+                     tracer is not None)
                     for s in misses
                 ]
                 with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    for scenario, (chunk, store_delta) in zip(
+                    for scenario, (chunk, store_delta, spans) in zip(
                         misses, pool.map(_sweep_worker, payloads)
                     ):
                         records[scenario] = chunk
                         if store is not None and store_delta:
                             store.merge_stats(store_delta)
+                        if tracer is not None and spans:
+                            tracer.adopt(
+                                spans, parent_id=tracer.current_span_id()
+                            )
             else:
                 for scenario in misses:
                     records[scenario] = scenario.records()
@@ -196,6 +211,14 @@ class BatchScheduler:
         self._stats["store_hits"] += len(hits)
         self._stats["executed"] += len(misses)
         self._stats["degraded"] += degraded
+        reg = _registry()
+        reg.counter("service.batches").inc()
+        reg.counter("service.submitted").inc(len(scenarios))
+        reg.counter("service.deduplicated").inc(len(scenarios) - len(unique))
+        reg.counter("service.store_hits").inc(len(hits))
+        reg.counter("service.executed").inc(len(misses))
+        reg.counter("service.degraded").inc(degraded)
+        reg.histogram("service.batch_size").observe(len(scenarios))
         return ResultSet(r for s in scenarios for r in records[s])
 
     def submit_sweep(self, sweep: Union[Sweep, Mapping[str, Any]]) -> ResultSet:

@@ -44,6 +44,7 @@ from repro.shuffle.interleave import (
     round_robin_interleave,
     stream_starts,
 )
+from repro.telemetry import span as _span
 
 
 def _grouping_sort(code: np.ndarray, bound: int) -> np.ndarray:
@@ -157,7 +158,16 @@ class ShuffleEngine:
         if overprovision < 1.0:
             raise ValueError("overprovision must be >= 1.0")
         if self._vectorized and self._segmented:
-            return self._run_segmented(sources, dest_of, overprovision)
+            with _span(
+                "shuffle",
+                category="shuffle",
+                sources=len(sources),
+                destinations=self._num_dest,
+                segmented=True,
+            ) as sp:
+                result = self._run_segmented(sources, dest_of, overprovision)
+                sp.set(faulted=result.resilience is not None)
+                return result
         num_src = len(sources)
 
         # Histogram-build step: per source, tuples per destination.
@@ -201,21 +211,33 @@ class ShuffleEngine:
         destinations: List[Relation] = []
         traces: List[np.ndarray] = []
         inbound: List[np.ndarray] = []
-        for dest in range(self._num_dest):
-            rel, trace, hist = self._materialize_destination(
-                dest,
-                [streams[s][dest] for s in range(num_src)],
-                [int(per_src_offsets[s][dest]) for s in range(num_src)],
-                barrier,
-                overprovision,
-                session,
-            )
-            destinations.append(rel)
-            traces.append(trace)
-            inbound.append(hist)
+        with _span(
+            "shuffle",
+            category="shuffle",
+            sources=num_src,
+            destinations=self._num_dest,
+            segmented=False,
+            faulted=session is not None,
+        ):
+            for dest in range(self._num_dest):
+                with _span(
+                    "shuffle_round", category="shuffle", dest=dest
+                ) as round_sp:
+                    rel, trace, hist = self._materialize_destination(
+                        dest,
+                        [streams[s][dest] for s in range(num_src)],
+                        [int(per_src_offsets[s][dest]) for s in range(num_src)],
+                        barrier,
+                        overprovision,
+                        session,
+                    )
+                    round_sp.set(tuples=len(rel))
+                destinations.append(rel)
+                traces.append(trace)
+                inbound.append(hist)
 
-        if session is not None:
-            session.finalize(barrier)
+            if session is not None:
+                session.finalize(barrier)
         if not barrier.all_complete():
             raise RuntimeError("shuffle barrier incomplete after all deliveries")
         return ShuffleResult(

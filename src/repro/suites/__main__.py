@@ -35,6 +35,7 @@ from repro.suites.scoring import (
     report_json,
     score_records,
 )
+from repro.telemetry import trace as _trace
 
 #: Columns of ``run``'s human-readable summary (exports keep all).
 SUMMARY_COLUMNS = ("suite", "family", "system", "stage", "phase", "time_s",
@@ -85,6 +86,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
         help="persistent content-addressed result store: warm suite runs "
              "replay without simulation, misses are written back "
              "(default: $REPRO_STORE if set)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record telemetry spans for the grid run and write them to "
+             "FILE as Chrome trace_event JSON (chrome://tracing / "
+             "Perfetto); exports are byte-identical with or without "
+             "tracing",
     )
 
 
@@ -183,7 +191,14 @@ def _run_grid(args) -> "tuple":
     if args.store:
         common.configure_store(args.store)
     grid = _build_grid(args)
-    results = grid.run(jobs=args.jobs)
+    tracer = _trace.install_tracer() if getattr(args, "trace", None) else None
+    try:
+        results = grid.run(jobs=args.jobs)
+    finally:
+        if tracer is not None:
+            _trace.uninstall_tracer()
+            events = tracer.export_chrome(args.trace)
+            print(f"trace: {events} events -> {args.trace}", file=sys.stderr)
     store_stats = common.store_stats()
     if store_stats is not None:
         print(

@@ -38,6 +38,8 @@ from repro.api.scenario import records_from_result
 from repro.experiments import common
 from repro.perf.result import SystemResult
 from repro.suites.registry import SUITES, Suite, get_suite
+from repro.telemetry import span as _span
+from repro.telemetry import trace as _trace
 
 #: Default cost-model scale for suite grids: 5 suites x 6 presets is a
 #: 30-point grid, so suites default lighter than the single-operator
@@ -208,6 +210,20 @@ def _store_roundtrip(store, point: SuitePoint) -> SuiteOutcome:
 
 def run_suite_point(point: SuitePoint) -> SuiteOutcome:
     """Evaluate one point through memory tier -> store -> pipeline."""
+    tracer = _trace.active_tracer()
+    if tracer is not None:
+        with tracer.span(
+            "suite_point",
+            category="suites",
+            suite=point.suite,
+            system=point.system,
+            scale=float(point.model_scale),
+        ):
+            return _run_suite_point(point)
+    return _run_suite_point(point)
+
+
+def _run_suite_point(point: SuitePoint) -> SuiteOutcome:
     key = (
         "suite-result",
         point.suite,
@@ -312,38 +328,68 @@ class SuiteRun:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         points = self.points()
-        if jobs == 1 or len(points) <= 1:
-            records: List[Dict[str, Any]] = []
-            for point in points:
-                records.extend(point.records())
+        with _span(
+            "suite_run", category="suites", points=len(points), jobs=jobs
+        ):
+            if jobs == 1 or len(points) <= 1:
+                records: List[Dict[str, Any]] = []
+                for point in points:
+                    records.extend(point.records())
+                return ResultSet(records)
+            tracer = _trace.active_tracer()
+            payloads = [
+                (p, common.cache_enabled(), common.store_path(),
+                 tracer is not None)
+                for p in points
+            ]
+            store = common.active_store()
+            records = []
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for chunk, store_delta, spans in pool.map(
+                    _point_worker, payloads
+                ):
+                    records.extend(chunk)
+                    if store is not None and store_delta:
+                        store.merge_stats(store_delta)
+                    if tracer is not None and spans:
+                        tracer.adopt(
+                            spans, parent_id=tracer.current_span_id()
+                        )
             return ResultSet(records)
-        payloads = [
-            (p, common.cache_enabled(), common.store_path()) for p in points
-        ]
-        store = common.active_store()
-        records = []
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            for chunk, store_delta in pool.map(_point_worker, payloads):
-                records.extend(chunk)
-                if store is not None and store_delta:
-                    store.merge_stats(store_delta)
-        return ResultSet(records)
 
 
-def _point_worker(payload) -> Tuple[List[Dict[str, Any]], Optional[Dict[str, int]]]:
+def _point_worker(
+    payload,
+) -> Tuple[
+    List[Dict[str, Any]], Optional[Dict[str, int]], Optional[List[Dict[str, Any]]]
+]:
     """Process-pool entry point, mirroring ``api.sweep._sweep_worker``:
-    (point, use_cache, store path) -> (records, store-counter delta)."""
-    point, use_cache, store = payload
+    (point, use_cache, store path[, trace]) -> (records, store-counter
+    delta, worker spans)."""
+    point, use_cache, store = payload[:3]
+    trace_on = bool(payload[3]) if len(payload) > 3 else False
     common.set_cache_enabled(use_cache)
     if store != common.store_path():
         common.configure_store(store)
     handle = common.active_store()
     before = handle.counters() if handle is not None else None
-    records = point.records()
+    spans = None
+    if trace_on:
+        with _trace.tracing() as tracer:
+            with tracer.span(
+                "pool_worker",
+                category="suites",
+                suite=point.suite,
+                system=point.system,
+            ):
+                records = point.records()
+            spans = tracer.to_dicts()
+    else:
+        records = point.records()
     if handle is None:
-        return records, None
+        return records, None, spans
     after = handle.counters()
-    return records, {k: after[k] - before[k] for k in before}
+    return records, {k: after[k] - before[k] for k in before}, spans
 
 
 def functional_digests(

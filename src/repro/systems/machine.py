@@ -121,13 +121,20 @@ class Machine:
         # Imported here: repro.pipeline pulls in the experiments layer
         # (table formatting), which imports repro.systems back.
         from repro.pipeline.perf import evaluate_pipeline
+        from repro.telemetry import span as _span
 
         if scale_factor <= 0:
             raise ValueError("scale factor must be positive")
-        run = plan.execute(
-            self.variant(plan.num_partitions), model_scale=scale_factor
-        )
-        return evaluate_pipeline(self, run)
+        with _span(
+            "run_pipeline",
+            category="pipeline",
+            system=self.config.name,
+            plan=plan.name,
+        ):
+            run = plan.execute(
+                self.variant(plan.num_partitions), model_scale=scale_factor
+            )
+            return evaluate_pipeline(self, run)
 
     def phase_energy(self, perf) -> EnergyBreakdown:
         """Energy breakdown of one evaluated phase on this machine.

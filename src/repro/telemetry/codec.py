@@ -1,0 +1,106 @@
+"""The ``telemetry/v1`` canonical-JSON codec and trace validation.
+
+Canonical form: UTF-8 JSON with sorted keys and no whitespace, so two
+interpreters (or two runs) that measured the same events emit
+byte-identical documents -- the property the determinism tests pin.
+Snapshots travel in a versioned envelope::
+
+    {"schema": "telemetry/v1", "snapshot": {...}}
+
+``validate_trace_events`` checks the structural contract Chrome's
+``trace_event`` importer (and Perfetto) require of the complete events
+the tracer emits; the telemetry tests run every export through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+__all__ = [
+    "SCHEMA",
+    "canonical_json",
+    "decode_snapshot",
+    "encode_snapshot",
+    "validate_trace_events",
+]
+
+SCHEMA = "telemetry/v1"
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, minimal separators, ASCII-safe."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def encode_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Wrap a metrics snapshot in the versioned envelope, canonically."""
+    return canonical_json({"schema": SCHEMA, "snapshot": snapshot})
+
+
+def decode_snapshot(text: str) -> Dict[str, Any]:
+    """Parse and version-check an :func:`encode_snapshot` document."""
+    document = json.loads(text)
+    if not isinstance(document, dict):
+        raise ValueError("telemetry document must be a JSON object")
+    schema = document.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"unsupported telemetry schema {schema!r} (expected {SCHEMA!r})"
+        )
+    snapshot = document.get("snapshot")
+    if not isinstance(snapshot, dict):
+        raise ValueError('telemetry document needs a "snapshot" object')
+    return snapshot
+
+
+#: Required key -> type for a complete ("X") trace event.
+_EVENT_FIELDS = {
+    "name": str,
+    "cat": str,
+    "ph": str,
+    "ts": int,
+    "dur": int,
+    "pid": int,
+    "tid": int,
+}
+
+
+def validate_trace_events(document: Any) -> List[Dict[str, Any]]:
+    """Validate a Chrome trace document; returns its event list.
+
+    Accepts either the object form (``{"traceEvents": [...]}``) or a
+    bare event array, mirroring what the Chrome importer accepts.
+    Raises ``ValueError`` naming the first offending event otherwise.
+    """
+    if isinstance(document, dict):
+        events = document.get("traceEvents")
+    else:
+        events = document
+    if not isinstance(events, list):
+        raise ValueError('trace document needs a "traceEvents" array')
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key, expected in _EVENT_FIELDS.items():
+            value = event.get(key)
+            if not isinstance(value, expected) or isinstance(value, bool):
+                raise ValueError(
+                    f"traceEvents[{index}].{key}: expected "
+                    f"{expected.__name__}, got {value!r}"
+                )
+        if event["ph"] != "X":
+            raise ValueError(
+                f"traceEvents[{index}].ph: tracer emits complete events "
+                f"('X'), got {event['ph']!r}"
+            )
+        if event["ts"] < 0 or event["dur"] < 1:
+            raise ValueError(
+                f"traceEvents[{index}]: ts must be >= 0 and dur >= 1"
+            )
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            raise ValueError(f"traceEvents[{index}].args is not an object")
+    return events

@@ -63,6 +63,7 @@ def test_usage_flags_match_cli_parsers():
 
     from repro.api.__main__ import build_parser as api_parser
     from repro.experiments.run_all import build_parser as run_all_parser
+    from repro.report.__main__ import build_parser as report_parser
     from repro.service.__main__ import build_parser as service_parser
     from repro.suites.__main__ import build_parser as suites_parser
 
@@ -85,6 +86,7 @@ def test_usage_flags_match_cli_parsers():
         for parser in (
             run_all_parser(),
             api_parser(),
+            report_parser(),
             service_parser(),
             suites_parser(),
             compare_parser(),

@@ -327,11 +327,12 @@ class TestRunner:
 
     def test_point_worker_in_process(self, scoped_store):
         point = SuitePoint("windowed-clicks", "cpu")
-        records, delta = _point_worker(
+        records, delta, spans = _point_worker(
             (point, common.cache_enabled(), common.store_path())
         )
         assert records == point.records()
         assert delta is not None and delta["puts"] == 1
+        assert spans is None  # tracing was not requested
 
     def test_outcomes_grid_order(self):
         grid = SuiteRun(suites=SMOKE_SUITES, systems=("cpu",))

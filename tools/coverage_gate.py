@@ -59,6 +59,13 @@ GATES = {
             "tests/test_suites_determinism.py",
         ),
     },
+    "telemetry": {
+        "target": ROOT / "src" / "repro" / "telemetry",
+        "tests": (
+            "tests/test_telemetry.py",
+            "tests/test_report.py",
+        ),
+    },
 }
 
 
