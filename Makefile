@@ -4,8 +4,8 @@
 PY ?= python
 export PYTHONPATH := src
 
-#: Current perf-trajectory point; bump per perf PR (BENCH_PR10.json, ...).
-BENCH_JSON ?= BENCH_PR9.json
+#: Current perf-trajectory point; bump per perf PR (BENCH_PR11.json, ...).
+BENCH_JSON ?= BENCH_PR10.json
 
 #: Full per-file bench sweeps min-merged by `make bench` (see
 #: tools/bench_runner.py; more sweeps = more jitter robustness).
@@ -33,14 +33,19 @@ SUITES_MIN_COVERAGE ?= 90
 #: the telemetry package (spans, metrics, codec).
 TELEMETRY_MIN_COVERAGE ?= 90
 
+#: Minimum line coverage (percent) `make coverage-fleet` demands of the
+#: evaluation-fleet package (ring, sharded store, router, async client).
+FLEET_MIN_COVERAGE ?= 90
+
 #: Deterministic wire-fault schedule seeds replayed by `make chaos-test`.
 CHAOS_SEEDS ?= --seed 7 --seed 17
 
-.PHONY: test test-faults coverage coverage-service coverage-suites coverage-telemetry chaos-test docs-check report report-html report-smoke pipelines sweep-smoke service-smoke suites-smoke bench bench-compare profile
+.PHONY: test test-faults coverage coverage-service coverage-suites coverage-telemetry coverage-fleet chaos-test docs-check load-test load-test-smoke report report-html report-smoke pipelines sweep-smoke service-smoke suites-smoke bench bench-compare profile
 
 ## Tier-1 verification: full unit/integration/experiment + benchmark
 ## suite, then the fault-injection suite, the sweep-smoke, service-smoke,
-## suites-smoke and report-smoke checks, and the chaos harness.
+## suites-smoke, report-smoke and load-test-smoke checks, and the chaos
+## harness.
 test:
 	$(PY) -m pytest -x -q
 	$(MAKE) test-faults
@@ -48,6 +53,7 @@ test:
 	$(MAKE) service-smoke
 	$(MAKE) suites-smoke
 	$(MAKE) report-smoke
+	$(MAKE) load-test-smoke
 	$(MAKE) chaos-test
 
 ## Fault-injection suite: property harness (output byte-identity under
@@ -61,7 +67,7 @@ test-faults:
 ## Coverage gate: run the fault suite under a stdlib line tracer and
 ## fail if any src/repro/faults/ file is below FAULTS_MIN_COVERAGE%.
 coverage:
-	$(PY) tools/faults_coverage.py --min $(FAULTS_MIN_COVERAGE)
+	$(PY) tools/coverage_gate.py faults --min $(FAULTS_MIN_COVERAGE)
 
 ## Service coverage gate: run the service + resilience suites under the
 ## same stdlib tracer; fail if any src/repro/service/ file is below
@@ -79,6 +85,24 @@ coverage-suites:
 ## TELEMETRY_MIN_COVERAGE%.
 coverage-telemetry:
 	$(PY) tools/coverage_gate.py telemetry --min $(TELEMETRY_MIN_COVERAGE)
+
+## Fleet coverage gate: run the fleet suite under the stdlib tracer;
+## fail if any src/repro/service/fleet/ file is below
+## FLEET_MIN_COVERAGE%.
+coverage-fleet:
+	$(PY) tools/coverage_gate.py fleet --min $(FLEET_MIN_COVERAGE)
+
+## Fleet load test: replay thousands of concurrent requests through a
+## real sharded/replicated fleet -- steady, then with a member daemon
+## SIGKILLed mid-run -- asserting zero failed requests, and merging
+## p50/p95/p99 latency + throughput into $(BENCH_JSON).
+load-test:
+	$(PY) tools/load_test.py --json $(BENCH_JSON)
+
+## Small CI form of the load test (120 requests, same SIGKILL phase and
+## zero-failure assertion; no trajectory write).
+load-test-smoke:
+	$(PY) tools/load_test.py --smoke
 
 ## Chaos harness: replay the sweep-smoke grid through a real daemon
 ## under worker SIGKILLs, torn store writes, seeded wire faults and

@@ -28,6 +28,12 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parents[1]
 
 
+#: Latency-percentile stats fields carried through the comparison when a
+#: benchmark records them (the fleet load test does; plain
+#: pytest-benchmark entries do not, and simply lack the fields).
+PERCENTILE_FIELDS = ("p50", "p95", "p99")
+
+
 def load_means(path: Path) -> dict:
     """benchmark name -> representative seconds, from a pytest-benchmark JSON.
 
@@ -44,6 +50,25 @@ def load_means(path: Path) -> dict:
         b["name"]: b["stats"].get("min", b["stats"].get("mean"))
         for b in payload.get("benchmarks", [])
     }
+
+
+def load_percentiles(path: Path) -> dict:
+    """benchmark name -> recorded latency percentiles (p50/p95/p99).
+
+    Only benchmarks whose ``stats`` carry percentile fields appear (the
+    ``load_test_*`` entries written by ``tools/load_test.py``); for a
+    multi-round latency distribution the tail is the interesting part,
+    and the min that represents compute benches would hide it.
+    """
+    with path.open() as fh:
+        payload = json.load(fh)
+    out = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        fields = {k: stats[k] for k in PERCENTILE_FIELDS if k in stats}
+        if fields:
+            out[bench["name"]] = fields
+    return out
 
 
 def find_latest_pair() -> tuple:
@@ -72,12 +97,16 @@ def fmt_seconds(seconds: float) -> str:
 
 
 def find_regressions(
-    new: dict, old: dict, max_regression_pct: float
+    new: dict, old: dict, max_regression_pct: float,
+    new_percentiles=None, old_percentiles=None,
 ) -> list:
     """Shared benchmarks whose NEW mean exceeds OLD by > the threshold.
 
     Returns ``(name, old_mean, new_mean, regression_pct)`` tuples,
-    worst first.
+    worst first.  When both sides recorded latency percentiles for a
+    shared benchmark, each regressed percentile is gated too, as its
+    own ``name:p99``-style entry -- a load test whose median held but
+    whose tail blew up fails the gate.
     """
     regressions = []
     for name in sorted(set(new) & set(old)):
@@ -86,13 +115,29 @@ def find_regressions(
         pct = (new[name] / old[name] - 1.0) * 100.0
         if pct > max_regression_pct:
             regressions.append((name, old[name], new[name], pct))
+        if new_percentiles and old_percentiles:
+            new_p = new_percentiles.get(name, {})
+            old_p = old_percentiles.get(name, {})
+            for field in PERCENTILE_FIELDS:
+                if field not in new_p or old_p.get(field, 0) <= 0:
+                    continue
+                ppct = (new_p[field] / old_p[field] - 1.0) * 100.0
+                if ppct > max_regression_pct:
+                    regressions.append(
+                        (f"{name}:{field}", old_p[field], new_p[field], ppct)
+                    )
     regressions.sort(key=lambda item: -item[3])
     return regressions
 
 
-def compare(new_path: Path, old_path: Path, new=None, old=None) -> str:
+def compare(
+    new_path: Path, old_path: Path, new=None, old=None,
+    new_percentiles=None, old_percentiles=None,
+) -> str:
     new = load_means(new_path) if new is None else new
     old = load_means(old_path) if old is None else old
+    new_percentiles = new_percentiles or {}
+    old_percentiles = old_percentiles or {}
     shared = sorted(set(new) & set(old))
     only_new = sorted(set(new) - set(old))
     only_old = sorted(set(old) - set(new))
@@ -106,6 +151,14 @@ def compare(new_path: Path, old_path: Path, new=None, old=None) -> str:
                 f"{name:<44}  {fmt_seconds(old[name]):>10}  "
                 f"{fmt_seconds(new[name]):>10}  {speedup:>7.2f}x"
             )
+            if name in new_percentiles and name in old_percentiles:
+                for field in PERCENTILE_FIELDS:
+                    if field in new_percentiles[name] and field in old_percentiles[name]:
+                        lines.append(
+                            f"  {name + ':' + field:<42}  "
+                            f"{fmt_seconds(old_percentiles[name][field]):>10}  "
+                            f"{fmt_seconds(new_percentiles[name][field]):>10}"
+                        )
     else:
         lines.append(
             "no shared benchmarks between the two files -- the suites "
@@ -154,15 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def comparison_document(
     new_path: Path, old_path: Path, new: dict, old: dict,
-    max_regression_pct=None,
+    max_regression_pct=None, new_percentiles=None, old_percentiles=None,
 ) -> dict:
     """The machine-readable comparison (the ``--json`` artifact).
 
     Mirrors what :func:`compare` prints: shared benchmarks with their
     representative times and speedups, one-sided benchmarks, the geomean
     over measurable shared benches, and -- when a threshold is given --
-    the per-benchmark regressions that would fail the gate.
+    the per-benchmark regressions that would fail the gate.  Benchmarks
+    carrying latency percentiles (the load-test phases) keep them under
+    ``percentiles`` per side, and percentile regressions appear in the
+    gate as ``name:p99``-style entries.
     """
+    new_percentiles = new_percentiles or {}
+    old_percentiles = old_percentiles or {}
     shared = sorted(set(new) & set(old))
     measurable = [n for n in shared if new[n] > 0 and old[n] > 0]
     geomean = None
@@ -180,15 +238,30 @@ def comparison_document(
                 "old_s": old[name],
                 "new_s": new[name],
                 "speedup": (old[name] / new[name]) if new[name] else None,
+                **(
+                    {"percentiles": {
+                        "old": old_percentiles.get(name),
+                        "new": new_percentiles.get(name),
+                    }}
+                    if name in new_percentiles or name in old_percentiles
+                    else {}
+                ),
             }
             for name in shared
         },
         "only_new": sorted(set(new) - set(old)),
         "only_old": sorted(set(old) - set(new)),
+        "new_percentiles": {
+            name: new_percentiles[name]
+            for name in sorted(set(new_percentiles) - set(old))
+        },
         "geomean_speedup": geomean,
     }
     if max_regression_pct is not None:
-        regressions = find_regressions(new, old, max_regression_pct)
+        regressions = find_regressions(
+            new, old, max_regression_pct,
+            new_percentiles=new_percentiles, old_percentiles=old_percentiles,
+        )
         document["max_regression_pct"] = max_regression_pct
         document["regressions"] = [
             {"name": name, "old_s": old_s, "new_s": new_s, "pct": pct}
@@ -212,11 +285,14 @@ def main(argv=None) -> None:
         if not path.is_file():
             raise SystemExit(f"no such benchmark file: {path}")
     new, old = load_means(new_path), load_means(old_path)
-    print(compare(new_path, old_path, new=new, old=old))
+    new_pct, old_pct = load_percentiles(new_path), load_percentiles(old_path)
+    print(compare(new_path, old_path, new=new, old=old,
+                  new_percentiles=new_pct, old_percentiles=old_pct))
     if args.json_out:
         document = comparison_document(
             new_path, old_path, new, old,
             max_regression_pct=args.max_regression,
+            new_percentiles=new_pct, old_percentiles=old_pct,
         )
         text = json.dumps(document, sort_keys=True, separators=(",", ":"))
         if args.json_out == "-":
@@ -225,7 +301,10 @@ def main(argv=None) -> None:
             Path(args.json_out).write_text(text + "\n")
             print(f"wrote comparison JSON to {args.json_out}", file=sys.stderr)
     if args.max_regression is not None:
-        regressions = find_regressions(new, old, args.max_regression)
+        regressions = find_regressions(
+            new, old, args.max_regression,
+            new_percentiles=new_pct, old_percentiles=old_pct,
+        )
         if regressions:
             print(
                 f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "

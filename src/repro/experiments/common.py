@@ -54,6 +54,7 @@ scenario API; :func:`format_table` forwards to its new home in
 from __future__ import annotations
 
 import functools
+import os
 import warnings
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -270,12 +271,14 @@ def configure_store(path: Optional[Any], max_bytes: Optional[int] = None):
     if path is None:
         _STORE, _STORE_PATH, _STORE_EXPLICIT = None, None, False
         return active_store()
-    from repro.service.store import ResultStore
+    if isinstance(path, (str, os.PathLike)):
+        # Fleet-aware: a directory carrying a fleet.json manifest opens
+        # as a sharded, replicated store (see repro.service.fleet).
+        from repro.service.store import open_store
 
-    if isinstance(path, ResultStore):
-        _STORE = path
+        _STORE = open_store(path, max_bytes=max_bytes or _env_max_bytes())
     else:
-        _STORE = ResultStore(path, max_bytes=max_bytes or _env_max_bytes())
+        _STORE = path  # an already-open store handle (any store protocol)
     _STORE_PATH = str(_STORE.root)
     _STORE_EXPLICIT = True
     return _STORE
@@ -320,9 +323,9 @@ def active_store():
     if not env:
         return None
     if _STORE is None or _STORE_PATH != env:
-        from repro.service.store import ResultStore
+        from repro.service.store import open_store
 
-        _STORE = ResultStore(env, max_bytes=_env_max_bytes())
+        _STORE = open_store(env, max_bytes=_env_max_bytes())
         _STORE_PATH = env
     return _STORE
 

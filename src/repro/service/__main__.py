@@ -3,21 +3,32 @@
 Subcommands::
 
     python -m repro.service serve  --store DIR [--host H] [--port P] [--jobs N]
-                                   [--workers N]
+                                   [--workers N] [--fleet] [--shards N]
+                                   [--replicas R] [--hedge-after S]
     python -m repro.service submit --sweep SPEC.json [--host H] [--port P]
                                    [--json OUT] [--degrade local|fail]
     python -m repro.service stats  [--host H] [--port P]
     python -m repro.service ping   [--host H] [--port P]
     python -m repro.service recover --store DIR
+    python -m repro.service rebalance --store DIR [--shards N] [--replicas R]
 
 ``serve`` runs the daemon in the foreground and prints
 ``repro.service: serving on HOST:PORT`` once bound (``--port 0`` picks
-an ephemeral port -- scripts parse that line to find it).  ``submit``
-sends a sweep grid to a running daemon and exports the returned
-``ResultSet`` exactly like ``python -m repro.api`` does; ``stats`` and
-``ping`` are one-line JSON reports.  ``recover`` runs the store's
-journal recovery + full verification scan offline and prints the
-accounting (rolled forward / discarded / quarantined).
+an ephemeral port -- scripts parse that line to find it).  With
+``--fleet`` it instead runs the whole evaluation fleet: ``--shards N``
+member daemons over a sharded, ``--replicas R``-way replicated store at
+``--store``, behind one router on HOST:PORT that health-checks, hedges
+slow requests after ``--hedge-after`` seconds, fails over, and respawns
+dead members -- same wire protocol, so every client below works
+unchanged.  ``submit`` sends a sweep grid to a running daemon and
+exports the returned ``ResultSet`` exactly like ``python -m repro.api``
+does; ``stats`` and ``ping`` are one-line JSON reports.  ``recover``
+runs the store's journal recovery + full verification scan offline and
+prints the accounting (rolled forward / discarded / quarantined) --
+fleet store roots are detected automatically and scrubbed shard by
+shard.  ``rebalance`` re-replicates a fleet store offline after a shard
+was lost, added, or removed (pass ``--shards``/``--replicas`` to change
+the topology; omit them to heal in place).
 
 Client subcommands share ``--retries N`` (transport retry budget for
 idempotent verbs) and ``--deadline S`` (per-request budget, enforced by
@@ -101,6 +112,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-bytes", type=int, default=None, metavar="B",
         help="LRU-evict store entries beyond this total payload size",
     )
+    serve_p.add_argument(
+        "--fleet", action="store_true",
+        help="serve a whole evaluation fleet: --shards member daemons "
+             "over a sharded replicated store behind one router on "
+             "HOST:PORT (requires --store)",
+    )
+    serve_p.add_argument(
+        "--shards", type=int, default=3, metavar="N",
+        help="fleet mode: number of store shards / member daemons "
+             "(default 3)",
+    )
+    serve_p.add_argument(
+        "--replicas", type=int, default=2, metavar="R",
+        help="fleet mode: copies kept of each store object (default 2)",
+    )
+    serve_p.add_argument(
+        "--hedge-after", type=float, default=0.25, metavar="S",
+        help="fleet mode: hedge a slow request to a replica owner after "
+             "this many seconds (default 0.25; 0 disables hedging)",
+    )
 
     submit_p = commands.add_parser(
         "submit", help="submit a sweep grid to a running daemon"
@@ -154,6 +185,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", metavar="DIR", required=True,
         help="result-store directory to recover and verify",
     )
+
+    rebalance_p = commands.add_parser(
+        "rebalance",
+        help="re-replicate a fleet store offline (after shard loss, or to "
+             "change --shards/--replicas); prints the accounting",
+    )
+    rebalance_p.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="fleet store root (the directory holding fleet.json)",
+    )
+    rebalance_p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="new shard count (default: keep the manifest's topology)",
+    )
+    rebalance_p.add_argument(
+        "--replicas", type=int, default=None, metavar="R",
+        help="new replica count (default: keep the manifest's topology)",
+    )
     return parser
 
 
@@ -162,6 +211,22 @@ def _cmd_serve(args) -> None:
         raise SystemExit("--jobs must be >= 1")
     if args.workers < 0:
         raise SystemExit("--workers must be >= 0")
+    if args.fleet:
+        from repro.service.fleet import serve_fleet
+
+        if not args.store:
+            raise SystemExit("serve --fleet requires --store DIR")
+        if args.shards < 1 or args.replicas < 1:
+            raise SystemExit("--shards and --replicas must be >= 1")
+        serve_fleet(
+            host=args.host,
+            port=args.port,
+            store=args.store,
+            shards=args.shards,
+            replicas=args.replicas,
+            hedge_after=args.hedge_after if args.hedge_after > 0 else None,
+        )
+        return
     serve(
         host=args.host,
         port=args.port,
@@ -204,9 +269,17 @@ def _cmd_ping(args) -> None:
 
 
 def _cmd_recover(args) -> None:
-    from repro.service.store import ResultStore
+    from repro.service.store import open_store
 
-    report = ResultStore(args.store).verify()
+    # Fleet-aware: a fleet.json root verifies every shard and scrubs.
+    report = open_store(args.store).verify()
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+
+def _cmd_rebalance(args) -> None:
+    from repro.service.fleet import rebalance
+
+    report = rebalance(args.store, shards=args.shards, replicas=args.replicas)
     print(json.dumps(report, indent=2, sort_keys=True))
 
 
@@ -218,6 +291,7 @@ def main(argv=None) -> None:
         "stats": _cmd_stats,
         "ping": _cmd_ping,
         "recover": _cmd_recover,
+        "rebalance": _cmd_rebalance,
     }[args.command](args)
 
 

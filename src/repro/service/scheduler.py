@@ -80,9 +80,15 @@ class BatchScheduler:
             raise ValueError("workers must be >= 0")
         self._store = None
         if store is not None:
-            from repro.service.store import ResultStore
+            import os
 
-            self._store = ResultStore(store, max_bytes=max_bytes)
+            if isinstance(store, (str, os.PathLike)):
+                from repro.service.store import open_store
+
+                # Fleet-aware: a fleet.json-carrying root opens sharded.
+                self._store = open_store(store, max_bytes=max_bytes)
+            else:
+                self._store = store  # an already-open store handle
         self.jobs = jobs
         self._fleet = fleet
         if fleet is None and workers > 0:

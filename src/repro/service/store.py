@@ -121,6 +121,27 @@ def _parses_as_json(path: Path) -> bool:
         return False
 
 
+def open_store(
+    root: os.PathLike,
+    max_bytes: Optional[int] = None,
+    fsync: Optional[bool] = None,
+):
+    """Open the store at ``root``, fleet-aware.
+
+    A directory carrying a ``fleet.json`` manifest opens as a
+    :class:`~repro.service.fleet.sharded.ShardedResultStore` (N shards,
+    R replicas, read-repair); anything else opens as a plain
+    :class:`ResultStore`.  Every path-based entry point -- ``--store``
+    flags, ``REPRO_STORE``, worker store propagation, ``recover`` --
+    routes through here, so a fleet root is a drop-in store directory.
+    """
+    if os.path.isfile(os.path.join(os.fspath(root), "fleet.json")):
+        from repro.service.fleet.sharded import ShardedResultStore
+
+        return ShardedResultStore(root, max_bytes=max_bytes, fsync=fsync)
+    return ResultStore(root, max_bytes=max_bytes, fsync=fsync)
+
+
 class ResultStore:
     """A content-addressed, size-bounded, on-disk JSON document store."""
 
@@ -341,6 +362,16 @@ class ResultStore:
         except OSError:
             pass
         self._entries.pop(digest, None)
+
+    def discard(self, digest: str) -> None:
+        """Remove one entry outright (fleet rebalance pruning).
+
+        Unlike quarantine this *is* destruction -- only callers that
+        hold (or just wrote) another replica of the digest use it.
+        """
+        with self._lock:
+            self._drop(digest)
+            self._save_index()
 
     def _evict_to_budget(self, keep: Optional[str] = None) -> None:
         """Evict least-recently-used entries until under ``max_bytes``.

@@ -13,7 +13,13 @@ from pathlib import Path
 
 import pytest
 
-from benchmarks.compare import compare, find_regressions, load_means
+from benchmarks.compare import (
+    compare,
+    comparison_document,
+    find_regressions,
+    load_means,
+    load_percentiles,
+)
 
 
 def write_bench(tmp_path: Path, name: str, means: dict) -> Path:
@@ -65,6 +71,88 @@ class TestCompare:
     def test_load_means(self, tmp_path):
         path = write_bench(tmp_path, "b.json", {"x": 0.125})
         assert load_means(path) == {"x": 0.125}
+
+
+class TestPercentiles:
+    """Latency percentiles (the load-test phases) ride the comparison."""
+
+    def write_load_bench(self, tmp_path, name, mean, p50, p95, p99):
+        payload = {
+            "benchmarks": [
+                {"name": "load_test_steady",
+                 "stats": {"mean": mean, "p50": p50, "p95": p95, "p99": p99}},
+                {"name": "plain_bench", "stats": {"mean": 1.0}},
+            ]
+        }
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_load_percentiles_skips_plain_benches(self, tmp_path):
+        path = self.write_load_bench(tmp_path, "b.json", 0.01, 0.01, 0.02, 0.03)
+        loaded = load_percentiles(path)
+        assert loaded == {
+            "load_test_steady": {"p50": 0.01, "p95": 0.02, "p99": 0.03}
+        }
+        assert "plain_bench" not in loaded
+
+    def test_tail_blowup_fails_the_gate_by_name(self):
+        new = {"load_test_steady": 0.01}
+        old = {"load_test_steady": 0.01}
+        new_p = {"load_test_steady": {"p50": 0.01, "p95": 0.02, "p99": 0.09}}
+        old_p = {"load_test_steady": {"p50": 0.01, "p95": 0.02, "p99": 0.03}}
+        found = find_regressions(new, old, 10.0,
+                                 new_percentiles=new_p, old_percentiles=old_p)
+        assert [name for name, *_ in found] == ["load_test_steady:p99"]
+        assert found[0][3] == pytest.approx(200.0)
+
+    def test_percentiles_need_both_sides(self):
+        # Old files recorded before the load test carry no percentiles;
+        # the gate must not invent a baseline for them.
+        new = {"load_test_steady": 0.01}
+        old = {"load_test_steady": 0.01}
+        new_p = {"load_test_steady": {"p99": 9.9}}
+        assert find_regressions(new, old, 10.0, new_percentiles=new_p,
+                                old_percentiles={}) == []
+
+    def test_compare_prints_percentile_sublines(self, tmp_path):
+        new = self.write_load_bench(tmp_path, "BENCH_2.json",
+                                    0.01, 0.01, 0.02, 0.03)
+        old = self.write_load_bench(tmp_path, "BENCH_1.json",
+                                    0.02, 0.02, 0.04, 0.06)
+        text = compare(new, old,
+                       new_percentiles=load_percentiles(new),
+                       old_percentiles=load_percentiles(old))
+        assert "load_test_steady:p99" in text
+        assert "load_test_steady:p50" in text
+
+    def test_document_carries_percentiles_through(self, tmp_path):
+        new = self.write_load_bench(tmp_path, "BENCH_2.json",
+                                    0.01, 0.01, 0.02, 0.09)
+        old = self.write_load_bench(tmp_path, "BENCH_1.json",
+                                    0.01, 0.01, 0.02, 0.03)
+        doc = comparison_document(
+            new, old, load_means(new), load_means(old),
+            max_regression_pct=10.0,
+            new_percentiles=load_percentiles(new),
+            old_percentiles=load_percentiles(old),
+        )
+        shared = doc["shared"]["load_test_steady"]
+        assert shared["percentiles"]["old"]["p99"] == 0.03
+        assert shared["percentiles"]["new"]["p99"] == 0.09
+        assert "percentiles" not in doc["shared"]["plain_bench"]
+        assert not doc["gate_ok"]
+        assert any(r["name"] == "load_test_steady:p99"
+                   for r in doc["regressions"])
+
+    def test_new_only_percentiles_listed(self, tmp_path):
+        new = self.write_load_bench(tmp_path, "BENCH_2.json",
+                                    0.01, 0.01, 0.02, 0.03)
+        old = write_bench(tmp_path, "BENCH_1.json", {"plain_bench": 1.0})
+        doc = comparison_document(new, old, load_means(new), load_means(old),
+                                  new_percentiles=load_percentiles(new),
+                                  old_percentiles=load_percentiles(old))
+        assert "load_test_steady" in doc["new_percentiles"]
 
 
 class TestRegressionGate:

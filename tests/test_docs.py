@@ -68,10 +68,13 @@ def test_usage_flags_match_cli_parsers():
     from repro.suites.__main__ import build_parser as suites_parser
 
     sys.path.insert(0, str(ROOT))
+    sys.path.insert(0, str(ROOT / "tools"))
     try:
         from benchmarks.compare import build_parser as compare_parser
         from benchmarks.profile_experiment import build_parser as profile_parser
+        from load_test import build_parser as load_test_parser
     finally:
+        sys.path.pop(0)
         sys.path.pop(0)
 
     def walk(parser):
@@ -91,6 +94,7 @@ def test_usage_flags_match_cli_parsers():
             suites_parser(),
             compare_parser(),
             profile_parser(),
+            load_test_parser(),
         )
         for opt in walk(parser)
     }

@@ -147,6 +147,36 @@ class TestServiceCli:
         with pytest.raises(SystemExit, match="--workers"):
             service_cli.main(["serve", "--workers", "-1"])
 
+    def test_serve_fleet_flag_validation(self):
+        with pytest.raises(SystemExit, match="--store"):
+            service_cli.main(["serve", "--fleet"])
+        with pytest.raises(SystemExit, match="--shards"):
+            service_cli.main(["serve", "--fleet", "--store", "x",
+                              "--shards", "0"])
+
+    def test_serve_fleet_forwards_its_flags(self, monkeypatch, tmp_path):
+        from repro.service import fleet as fleet_mod
+
+        seen = {}
+        monkeypatch.setattr(fleet_mod, "serve_fleet",
+                            lambda **kw: seen.update(kw))
+        service_cli.main([
+            "serve", "--fleet", "--port", "0", "--store", str(tmp_path),
+            "--shards", "4", "--replicas", "2", "--hedge-after", "0",
+        ])
+        assert seen["shards"] == 4 and seen["replicas"] == 2
+        assert seen["hedge_after"] is None  # 0 disables hedging
+
+    def test_rebalance_cli_reports(self, tmp_path, capsys):
+        from repro.service.fleet import ShardedResultStore
+
+        ShardedResultStore(tmp_path, shards=2, replicas=2)
+        service_cli.main(["rebalance", "--store", str(tmp_path),
+                          "--shards", "3"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["objects"] == 0
+        assert ShardedResultStore(tmp_path).num_shards == 3
+
     def test_serve_forwards_its_flags(self, monkeypatch, tmp_path):
         seen = {}
         monkeypatch.setattr(service_cli, "serve",

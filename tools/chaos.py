@@ -29,6 +29,12 @@ Phases (all deterministic -- worker faults are scheduled by the
 4. **Degradation.**  Submitting against a dead port with
    ``--degrade local`` must exit 0 with golden bytes (evaluated
    in-process) and a degradation warning on stderr.
+5. **Fleet member murder.**  The sweep grid submitted through a real
+   sharded/replicated fleet (3 member daemons behind the hedging
+   router) with one member daemon SIGKILLed mid-sweep: the export must
+   stay byte-identical to the golden file with **zero failed
+   requests** (router failover + replicated shards absorb the loss),
+   and a warm re-submit after the murder must stay golden too.
 
 Usage::
 
@@ -366,6 +372,64 @@ def phase_degradation() -> None:
     assert result.returncode != 0, "degrade=fail unexpectedly succeeded"
 
 
+# ---------------------------------------------------------------------------
+# Phase 5: fleet member murder mid-sweep
+# ---------------------------------------------------------------------------
+
+
+def phase_fleet(store: str) -> None:
+    log("phase 5: sweep through a 3-member fleet, SIGKILL one mid-sweep")
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.service.fleet import start_fleet_background
+
+    fleet = start_fleet_background(store, shards=3, replicas=2)
+    try:
+        victim = fleet.router.members[0]
+        victim_pid = victim.proc.pid
+
+        # Murder a member the instant the router has routed the first
+        # request of the sweep -- deterministically mid-stream, however
+        # fast the grid evaluates.  The router must fail affected
+        # requests over to a replica owner; the client sees nothing.
+        done = threading.Event()
+
+        def assassin() -> None:
+            while not done.is_set():
+                if fleet.router.counters["routed"] >= 1:
+                    fleet.kill_member(0)
+                    return
+                time.sleep(0.001)
+
+        killer = threading.Thread(target=assassin, daemon=True)
+        killer.start()
+        try:
+            result = submit(fleet.port, "--retries", "4")
+        finally:
+            done.set()
+            killer.join(timeout=10)
+        assert victim.proc.poll() is not None or victim.proc.pid != victim_pid, (
+            "the victim member was never killed -- the phase proved nothing"
+        )
+        assert_golden(result.stdout, "phase 5 (member SIGKILLed mid-sweep)")
+
+        # A warm re-submit with the member still dead (or freshly
+        # respawned) must be pure store hits and stay golden.
+        assert_golden(submit(fleet.port, "--retries", "4").stdout,
+                      "phase 5 (warm re-submit after the murder)")
+
+        report = stats(fleet.port)
+        router = report["router"]
+        assert router["degraded"] == 0, router
+        log(
+            "phase 5: fleet survived -- "
+            f"routed={router['routed']} failovers={router['failovers']} "
+            f"hedges={router['hedges']} respawns={router['respawns']} "
+            f"member_failures={router['member_failures']}"
+        )
+    finally:
+        fleet.stop()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -380,9 +444,12 @@ def main(argv=None) -> int:
         phase_store_corruption(store)
         phase_wire_faults(store, seeds)
     phase_degradation()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-fleet-") as store:
+        phase_fleet(store)
     print(
         "chaos-test OK: golden bytes survived worker SIGKILLs, torn "
-        "writes, wire faults and daemon loss; no corrupt entry was served."
+        "writes, wire faults, daemon loss and a fleet member murder; no "
+        "corrupt entry was served."
     )
     return 0
 

@@ -16,9 +16,12 @@ Gates::
     python tools/coverage_gate.py faults            # src/repro/faults/
     python tools/coverage_gate.py service --min 90  # src/repro/service/
     python tools/coverage_gate.py suites --min 90   # src/repro/suites/
+    python tools/coverage_gate.py fleet --min 90    # src/repro/service/fleet/
 
-``make coverage``, ``make coverage-service`` and ``make
-coverage-suites`` wrap these.
+``make coverage``, ``make coverage-service``, ``make coverage-suites``,
+``make coverage-telemetry`` and ``make coverage-fleet`` wrap these.
+A gate may ``exclude`` subtrees that have their own dedicated gate (the
+fleet package lives under ``service/`` but is gated by ``fleet``).
 """
 
 from __future__ import annotations
@@ -46,10 +49,17 @@ GATES = {
     },
     "service": {
         "target": ROOT / "src" / "repro" / "service",
+        "exclude": (ROOT / "src" / "repro" / "service" / "fleet",),
         "tests": (
             "tests/test_service.py",
             "tests/test_resilience.py",
             "tests/test_service_errors.py",
+        ),
+    },
+    "fleet": {
+        "target": ROOT / "src" / "repro" / "service" / "fleet",
+        "tests": (
+            "tests/test_fleet.py",
         ),
     },
     "suites": {
@@ -140,7 +150,11 @@ def main(argv=None) -> int:
 
     sys.path.insert(0, str(ROOT / "src"))
     sys.path.insert(0, str(ROOT))
-    files = sorted(target_dir.rglob("*.py"))
+    excluded = tuple(gate.get("exclude", ()))
+    files = sorted(
+        path for path in target_dir.rglob("*.py")
+        if not any(exc in path.parents for exc in excluded)
+    )
     if not files:
         print(f"no Python files under {target_dir}", file=sys.stderr)
         return 1
